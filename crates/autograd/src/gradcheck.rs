@@ -1,0 +1,111 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the crate's own property tests and exported so downstream model
+//! crates can verify their composed computations end-to-end.
+
+use mhg_tensor::Tensor;
+
+use crate::graph::{Graph, Var};
+use crate::store::{ParamId, ParamStore};
+
+/// Result of a gradient check for a single parameter.
+#[derive(Debug)]
+pub struct GradCheck {
+    /// Parameter checked.
+    pub id: ParamId,
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Maximum relative difference (guarded against tiny denominators).
+    pub max_rel_err: f32,
+}
+
+/// Checks analytic gradients of `build` against central finite differences.
+///
+/// `build` must construct the forward computation on the given graph and
+/// return the scalar loss variable. It is invoked repeatedly with perturbed
+/// parameter stores, so it must be deterministic given the store contents.
+///
+/// Returns one [`GradCheck`] per parameter in the store.
+pub fn check_gradients(
+    params: &mut ParamStore,
+    build: impl Fn(&mut Graph<'_>) -> Var,
+    h: f32,
+) -> Vec<GradCheck> {
+    // Analytic pass.
+    let analytic = {
+        let mut g = Graph::new(params);
+        let loss = build(&mut g);
+        g.backward(loss)
+    };
+
+    let ids: Vec<ParamId> = params.iter().map(|(id, _, _)| id).collect();
+    let mut results = Vec::with_capacity(ids.len());
+
+    for id in ids {
+        let (rows, cols) = {
+            let v = params.value(id);
+            (v.rows(), v.cols())
+        };
+        let analytic_dense = analytic.to_dense(id, rows, cols);
+        let mut numeric = Tensor::zeros(rows, cols);
+
+        for r in 0..rows {
+            for c in 0..cols {
+                let original = params.value(id)[(r, c)];
+
+                params.value_mut(id)[(r, c)] = original + h;
+                let plus = eval_loss(params, &build);
+
+                params.value_mut(id)[(r, c)] = original - h;
+                let minus = eval_loss(params, &build);
+
+                params.value_mut(id)[(r, c)] = original;
+                numeric[(r, c)] = (plus - minus) / (2.0 * h);
+            }
+        }
+
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        for (a, n) in analytic_dense.as_slice().iter().zip(numeric.as_slice()) {
+            let abs = (a - n).abs();
+            let denom = a.abs().max(n.abs()).max(1e-2);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(abs / denom);
+        }
+        results.push(GradCheck {
+            id,
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+        });
+    }
+
+    results
+}
+
+fn eval_loss(params: &ParamStore, build: &impl Fn(&mut Graph<'_>) -> Var) -> f32 {
+    let mut g = Graph::new(params);
+    let loss = build(&mut g);
+    g.scalar(loss)
+}
+
+/// Asserts that all parameters pass the gradient check within `tol`
+/// (relative error, with an absolute fallback for near-zero gradients).
+///
+/// # Panics
+///
+/// Panics with a descriptive message when a parameter fails.
+pub fn assert_gradients_close(
+    params: &mut ParamStore,
+    build: impl Fn(&mut Graph<'_>) -> Var,
+    tol: f32,
+) {
+    for check in check_gradients(params, build, 1e-2) {
+        assert!(
+            check.max_rel_err < tol || check.max_abs_err < tol * 0.1,
+            "gradient check failed for param #{}: rel {:.2e}, abs {:.2e} (tol {tol:.2e})",
+            check.id.index(),
+            check.max_rel_err,
+            check.max_abs_err,
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Optimizers: SGD and (sparse-aware) Adam.
+//!
+//! The sparse-aware Adam mirrors "lazy Adam": for embedding tables whose
+//! gradients arrive as sparse rows, only the touched rows' moment estimates
+//! and values are updated. This matches how the paper's PyTorch
+//! implementation would treat `sparse=True` embedding gradients and keeps an
+//! epoch over a 100k-node table tractable on CPU.
+
+use std::collections::HashMap;
+
+use mhg_tensor::Tensor;
+
+use crate::store::{Grad, GradStore, ParamId, ParamStore};
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Applies one update step from accumulated gradients.
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        for (id, grad) in grads.iter() {
+            let value = params.value_mut(id);
+            match grad {
+                Grad::Dense(g) => value.axpy(-self.lr, g),
+                Grad::Rows { rows, .. } => {
+                    for (&r, g) in rows {
+                        for (v, gv) in value.row_mut(r).iter_mut().zip(g) {
+                            *v -= self.lr * gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Per-parameter Adam state.
+struct AdamState {
+    m: Tensor,
+    v: Tensor,
+    /// Per-row step counts for sparse (lazy) bias correction.
+    row_steps: Vec<u32>,
+    /// Global step count for dense updates.
+    step: u32,
+}
+
+/// Adam optimizer with lazy (sparse-aware) updates for row gradients.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    states: HashMap<ParamId, AdamState>,
+}
+
+impl Adam {
+    /// Creates Adam with the paper's defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit hyper-parameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            states: HashMap::new(),
+        }
+    }
+
+    fn state_for(&mut self, id: ParamId, shape: (usize, usize)) -> &mut AdamState {
+        self.states.entry(id).or_insert_with(|| AdamState {
+            m: Tensor::zeros(shape.0, shape.1),
+            v: Tensor::zeros(shape.0, shape.1),
+            row_steps: vec![0; shape.0],
+            step: 0,
+        })
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        for (id, grad) in grads.iter() {
+            let shape = {
+                let v = params.value(id);
+                (v.rows(), v.cols())
+            };
+            let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+            let state = self.state_for(id, shape);
+            let value = params.value_mut(id);
+            match grad {
+                Grad::Dense(g) => {
+                    state.step += 1;
+                    let t = state.step as f32;
+                    let bc1 = 1.0 - b1.powf(t);
+                    let bc2 = 1.0 - b2.powf(t);
+                    let (m, v) = (state.m.as_mut_slice(), state.v.as_mut_slice());
+                    for (((p, gv), mv), vv) in value
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(g.as_slice())
+                        .zip(m.iter_mut())
+                        .zip(v.iter_mut())
+                    {
+                        *mv = b1 * *mv + (1.0 - b1) * gv;
+                        *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                        let m_hat = *mv / bc1;
+                        let v_hat = *vv / bc2;
+                        *p -= lr * m_hat / (v_hat.sqrt() + eps);
+                    }
+                }
+                Grad::Rows { rows, .. } => {
+                    for (&r, g) in rows {
+                        state.row_steps[r] += 1;
+                        let t = state.row_steps[r] as f32;
+                        let bc1 = 1.0 - b1.powf(t);
+                        let bc2 = 1.0 - b2.powf(t);
+                        let m_row = state.m.row_mut(r);
+                        for (mv, gv) in m_row.iter_mut().zip(g) {
+                            *mv = b1 * *mv + (1.0 - b1) * gv;
+                        }
+                        let v_row = state.v.row_mut(r);
+                        for (vv, gv) in v_row.iter_mut().zip(g) {
+                            *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                        }
+                        for ((p, mv), vv) in value
+                            .row_mut(r)
+                            .iter_mut()
+                            .zip(state.m.row(r))
+                            .zip(state.v.row(r))
+                        {
+                            let m_hat = mv / bc1;
+                            let v_hat = vv / bc2;
+                            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    /// Minimises f(w) = (w − 3)² over a 1×1 parameter.
+    fn converges_to_three(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut params = ParamStore::new();
+        let w = params.register("w", Tensor::from_vec(1, 1, vec![0.0]));
+        for _ in 0..steps {
+            let mut g = Graph::new(&params);
+            let wv = g.param(w);
+            let target = g.constant(Tensor::from_vec(1, 1, vec![3.0]));
+            let diff = g.sub(wv, target);
+            let sq = g.mul(diff, diff);
+            let loss = g.sum_all(sq);
+            let grads = g.backward(loss);
+            opt.step(&mut params, &grads);
+        }
+        params.value(w)[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges_to_three(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = converges_to_three(&mut opt, 500);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn sparse_adam_only_touches_gathered_rows() {
+        let mut params = ParamStore::new();
+        let table = params.register("emb", Tensor::zeros(4, 2));
+        let mut opt = Adam::new(0.05);
+        // Pull row 2 toward (1, 1); rows 0, 1, 3 must stay exactly zero.
+        for _ in 0..100 {
+            let mut g = Graph::new(&params);
+            let rows = g.gather(table, &[2]);
+            let target = g.constant(Tensor::from_rows(&[&[1.0, 1.0]]));
+            let diff = g.sub(rows, target);
+            let sq = g.mul(diff, diff);
+            let loss = g.sum_all(sq);
+            let grads = g.backward(loss);
+            opt.step(&mut params, &grads);
+        }
+        let t = params.value(table);
+        assert!(t.row(0).iter().all(|&v| v == 0.0));
+        assert!(t.row(1).iter().all(|&v| v == 0.0));
+        assert!(t.row(3).iter().all(|&v| v == 0.0));
+        assert!(t.row(2).iter().all(|&v| (v - 1.0).abs() < 0.05), "{t:?}");
+    }
+
+    #[test]
+    fn learning_rate_override() {
+        let mut opt = Sgd::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.25);
+        assert_eq!(opt.learning_rate(), 0.25);
+    }
+}

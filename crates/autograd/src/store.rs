@@ -1,0 +1,340 @@
+//! Parameter storage and gradient accumulation.
+//!
+//! Parameters (embedding tables, weight matrices) live outside the per-step
+//! tape in a [`ParamStore`], so that large embedding tables are never copied
+//! onto the tape: the tape only ever *gathers* the rows a batch touches.
+//! Gradients accumulate into a [`GradStore`], which keeps embedding-table
+//! gradients sparse (per-row) — the optimizer then only updates touched rows.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mhg_tensor::Tensor;
+
+/// Identifier of a parameter tensor inside a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParamId(pub(crate) u32);
+
+impl ParamId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Owns all trainable tensors of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.values.len() as u32);
+        self.names.push(name.into());
+        self.values.push(value);
+        id
+    }
+
+    /// Immutable access to a parameter's value.
+    #[inline]
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.index()]
+    }
+
+    /// Mutable access to a parameter's value (used by optimizers).
+    #[inline]
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.index()]
+    }
+
+    /// The parameter's registered name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i as u32), self.names[i].as_str(), v))
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+}
+
+impl fmt::Debug for ParamStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("ParamStore");
+        for (id, name, v) in self.iter() {
+            d.field(name, &format_args!("#{} {}", id.index(), v.shape()));
+        }
+        d.finish()
+    }
+}
+
+/// Gradient of one parameter: dense, or sparse rows for embedding tables.
+#[derive(Debug, Clone)]
+pub enum Grad {
+    /// Dense gradient with the parameter's full shape.
+    Dense(Tensor),
+    /// Sparse per-row gradients (row index → gradient row).
+    Rows {
+        /// Width of every gradient row.
+        cols: usize,
+        /// Accumulated row gradients.
+        rows: HashMap<usize, Vec<f32>>,
+    },
+}
+
+impl Grad {
+    /// Sum of squared entries (for global-norm clipping).
+    pub fn norm_sq(&self) -> f32 {
+        match self {
+            Grad::Dense(t) => t.norm_sq(),
+            Grad::Rows { rows, .. } => rows
+                .values()
+                .map(|r| r.iter().map(|v| v * v).sum::<f32>())
+                .sum(),
+        }
+    }
+
+    /// Scales the gradient in place.
+    pub fn scale_in_place(&mut self, s: f32) {
+        match self {
+            Grad::Dense(t) => {
+                for v in t.as_mut_slice() {
+                    *v *= s;
+                }
+            }
+            Grad::Rows { rows, .. } => {
+                for r in rows.values_mut() {
+                    for v in r {
+                        *v *= s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulated gradients for a training step, keyed by [`ParamId`].
+#[derive(Default, Debug)]
+pub struct GradStore {
+    grads: HashMap<ParamId, Grad>,
+}
+
+impl GradStore {
+    /// Creates an empty gradient store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates a dense gradient for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` already has a sparse gradient of mismatched width, or a
+    /// dense gradient of a different shape.
+    pub fn accumulate_dense(&mut self, id: ParamId, grad: Tensor) {
+        match self.grads.get_mut(&id) {
+            None => {
+                self.grads.insert(id, Grad::Dense(grad));
+            }
+            Some(Grad::Dense(existing)) => existing.axpy(1.0, &grad),
+            Some(Grad::Rows { cols, rows }) => {
+                // Promote by folding the dense grad into rows.
+                assert_eq!(*cols, grad.cols(), "gradient width mismatch");
+                for r in 0..grad.rows() {
+                    let entry = rows.entry(r).or_insert_with(|| vec![0.0; *cols]);
+                    for (e, g) in entry.iter_mut().zip(grad.row(r)) {
+                        *e += g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulates a gradient for a single row of parameter `id`.
+    pub fn accumulate_row(&mut self, id: ParamId, row: usize, grad_row: &[f32]) {
+        match self.grads.get_mut(&id) {
+            Some(Grad::Dense(existing)) => {
+                assert_eq!(existing.cols(), grad_row.len(), "gradient width mismatch");
+                for (e, g) in existing.row_mut(row).iter_mut().zip(grad_row) {
+                    *e += g;
+                }
+            }
+            Some(Grad::Rows { cols, rows }) => {
+                assert_eq!(*cols, grad_row.len(), "gradient width mismatch");
+                let entry = rows.entry(row).or_insert_with(|| vec![0.0; *cols]);
+                for (e, g) in entry.iter_mut().zip(grad_row) {
+                    *e += g;
+                }
+            }
+            None => {
+                let mut rows = HashMap::new();
+                rows.insert(row, grad_row.to_vec());
+                self.grads.insert(
+                    id,
+                    Grad::Rows {
+                        cols: grad_row.len(),
+                        rows,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The gradient for `id`, if any part of the model touched it.
+    pub fn get(&self, id: ParamId) -> Option<&Grad> {
+        self.grads.get(&id)
+    }
+
+    /// Iterates over `(id, grad)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Grad)> {
+        self.grads.iter().map(|(&id, g)| (id, g))
+    }
+
+    /// Mutable iteration (used by clipping).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Grad)> {
+        self.grads.iter_mut().map(|(&id, g)| (id, g))
+    }
+
+    /// Number of parameters with gradients.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether no gradients were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Global L2 norm across all stored gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .values()
+            .map(Grad::norm_sq)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips gradients so the global norm is at most `max_norm`.
+    ///
+    /// Returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in self.grads.values_mut() {
+                g.scale_in_place(s);
+            }
+        }
+        norm
+    }
+
+    /// Converts the gradient of `id` to a dense tensor of shape `shape`
+    /// (zeros where untouched). Test helper.
+    pub fn to_dense(&self, id: ParamId, rows: usize, cols: usize) -> Tensor {
+        let mut out = Tensor::zeros(rows, cols);
+        match self.grads.get(&id) {
+            None => {}
+            Some(Grad::Dense(t)) => out = t.clone(),
+            Some(Grad::Rows { rows: map, .. }) => {
+                for (&r, g) in map {
+                    for (o, v) in out.row_mut(r).iter_mut().zip(g) {
+                        *o += v;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(2, 3));
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.value(id).shape().rows, 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    fn dense_accumulation_adds() {
+        let mut gs = GradStore::new();
+        let id = ParamId(0);
+        gs.accumulate_dense(id, Tensor::full(2, 2, 1.0));
+        gs.accumulate_dense(id, Tensor::full(2, 2, 2.0));
+        let d = gs.to_dense(id, 2, 2);
+        assert_eq!(d, Tensor::full(2, 2, 3.0));
+    }
+
+    #[test]
+    fn row_accumulation_is_sparse() {
+        let mut gs = GradStore::new();
+        let id = ParamId(1);
+        gs.accumulate_row(id, 5, &[1.0, 2.0]);
+        gs.accumulate_row(id, 5, &[1.0, 2.0]);
+        gs.accumulate_row(id, 0, &[3.0, 0.0]);
+        match gs.get(id).unwrap() {
+            Grad::Rows { rows, cols } => {
+                assert_eq!(*cols, 2);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[&5], vec![2.0, 4.0]);
+            }
+            _ => panic!("expected sparse grad"),
+        }
+    }
+
+    #[test]
+    fn mixed_dense_and_rows() {
+        let mut gs = GradStore::new();
+        let id = ParamId(0);
+        gs.accumulate_row(id, 1, &[1.0, 1.0]);
+        gs.accumulate_dense(id, Tensor::full(3, 2, 0.5));
+        let d = gs.to_dense(id, 3, 2);
+        assert_eq!(d.row(0), &[0.5, 0.5]);
+        assert_eq!(d.row(1), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut gs = GradStore::new();
+        gs.accumulate_dense(ParamId(0), Tensor::full(1, 4, 3.0)); // norm 6
+        let pre = gs.clip_global_norm(1.0);
+        assert!((pre - 6.0).abs() < 1e-5);
+        assert!((gs.global_norm() - 1.0).abs() < 1e-5);
+        // A second clip with a larger bound is a no-op.
+        let pre2 = gs.clip_global_norm(5.0);
+        assert!((pre2 - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Behavioural tests for the tape beyond raw gradient correctness:
+//! parameter sharing, branch accumulation, clipping, optimizer contracts.
+
+use mhg_autograd::{Adam, Grad, Graph, Optimizer, ParamStore, Sgd};
+use mhg_tensor::{InitKind, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn shared_parameter_accumulates_gradient() {
+    // w used twice: L = sum(w ⊙ w) ⇒ dL/dw = 2w.
+    let mut params = ParamStore::new();
+    let w = params.register("w", Tensor::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]));
+    let mut g = Graph::new(&params);
+    let w1 = g.param(w);
+    let w2 = g.param(w);
+    let prod = g.mul(w1, w2);
+    let loss = g.sum_all(prod);
+    let grads = g.backward(loss);
+    let d = grads.to_dense(w, 2, 2);
+    let expected = params.value(w).scale(2.0);
+    assert!(d.max_abs_diff(&expected) < 1e-6);
+}
+
+#[test]
+fn gather_same_row_twice_accumulates() {
+    let mut params = ParamStore::new();
+    let table = params.register("t", Tensor::from_rows(&[&[1.0], &[2.0]]));
+    let mut g = Graph::new(&params);
+    let rows = g.gather(table, &[1, 1, 0]);
+    let loss = g.sum_all(rows);
+    let grads = g.backward(loss);
+    let d = grads.to_dense(table, 2, 1);
+    assert_eq!(d[(0, 0)], 1.0);
+    assert_eq!(d[(1, 0)], 2.0); // row 1 gathered twice
+}
+
+#[test]
+fn diamond_graph_accumulates_through_branches() {
+    // x → (a = 2x, b = 3x) → loss = sum(a + b) ⇒ dx = 5.
+    let mut params = ParamStore::new();
+    let x = params.register("x", Tensor::from_rows(&[&[1.0, 1.0]]));
+    let mut g = Graph::new(&params);
+    let xv = g.param(x);
+    let a = g.scale(xv, 2.0);
+    let b = g.scale(xv, 3.0);
+    let sum = g.add(a, b);
+    let loss = g.sum_all(sum);
+    let grads = g.backward(loss);
+    let d = grads.to_dense(x, 1, 2);
+    assert!(d.as_slice().iter().all(|&v| (v - 5.0).abs() < 1e-6));
+}
+
+#[test]
+fn untouched_parameter_has_no_gradient() {
+    let mut params = ParamStore::new();
+    let used = params.register("used", Tensor::full(1, 2, 1.0));
+    let unused = params.register("unused", Tensor::full(1, 2, 1.0));
+    let mut g = Graph::new(&params);
+    let u = g.param(used);
+    let loss = g.sum_all(u);
+    let grads = g.backward(loss);
+    assert!(grads.get(used).is_some());
+    assert!(grads.get(unused).is_none());
+}
+
+#[test]
+fn constants_receive_no_gradient_but_propagate() {
+    let mut params = ParamStore::new();
+    let w = params.register("w", Tensor::full(1, 2, 2.0));
+    let mut g = Graph::new(&params);
+    let wv = g.param(w);
+    let c = g.constant(Tensor::full(1, 2, 10.0));
+    let prod = g.mul(wv, c);
+    let loss = g.sum_all(prod);
+    let grads = g.backward(loss);
+    // dL/dw = c = 10.
+    let d = grads.to_dense(w, 1, 2);
+    assert!(d.as_slice().iter().all(|&v| (v - 10.0).abs() < 1e-6));
+    assert_eq!(grads.len(), 1);
+}
+
+#[test]
+fn clipping_preserves_direction() {
+    let mut params = ParamStore::new();
+    let w = params.register("w", Tensor::from_rows(&[&[3.0, 4.0]]));
+    let mut g = Graph::new(&params);
+    let wv = g.param(w);
+    let sq = g.mul(wv, wv);
+    let loss = g.sum_all(sq);
+    let mut grads = g.backward(loss);
+    // grad = 2w = (6, 8), norm 10.
+    let pre = grads.clip_global_norm(1.0);
+    assert!((pre - 10.0).abs() < 1e-5);
+    match grads.get(w).unwrap() {
+        Grad::Dense(t) => {
+            assert!((t[(0, 0)] - 0.6).abs() < 1e-5);
+            assert!((t[(0, 1)] - 0.8).abs() < 1e-5);
+        }
+        _ => panic!("expected dense grad"),
+    }
+}
+
+#[test]
+fn sgd_and_adam_reduce_the_same_loss() {
+    let run = |opt: &mut dyn Optimizer| -> f32 {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = ParamStore::new();
+        let w = params.register("w", InitKind::Uniform { limit: 1.0 }.init(3, 3, &mut rng));
+        let target = InitKind::Uniform { limit: 1.0 }.init(3, 3, &mut rng);
+        let mut last = 0.0;
+        for _ in 0..150 {
+            let mut g = Graph::new(&params);
+            let wv = g.param(w);
+            let t = g.constant(target.clone());
+            let diff = g.sub(wv, t);
+            let sq = g.mul(diff, diff);
+            let loss = g.sum_all(sq);
+            last = g.scalar(loss);
+            let grads = g.backward(loss);
+            opt.step(&mut params, &grads);
+        }
+        last
+    };
+    let sgd_loss = run(&mut Sgd::new(0.05));
+    let adam_loss = run(&mut Adam::new(0.05));
+    assert!(sgd_loss < 1e-3, "SGD loss {sgd_loss}");
+    assert!(adam_loss < 1e-3, "Adam loss {adam_loss}");
+}
+
+#[test]
+fn tape_reuse_across_steps_is_safe() {
+    // Parameters persist across tapes; each tape sees the updated values.
+    let mut params = ParamStore::new();
+    let w = params.register("w", Tensor::from_vec(1, 1, vec![4.0]));
+    let mut opt = Sgd::new(0.25);
+    let mut values = Vec::new();
+    for _ in 0..3 {
+        let mut g = Graph::new(&params);
+        let wv = g.param(w);
+        values.push(g.value(wv)[(0, 0)]);
+        let loss = g.sum_all(wv); // dL/dw = 1
+        let grads = g.backward(loss);
+        opt.step(&mut params, &grads);
+    }
+    assert_eq!(values, vec![4.0, 3.75, 3.5]);
+}
+
+#[test]
+fn empty_gather_is_valid() {
+    // Zero-row gathers appear when a node has no neighbors; the tape must
+    // handle them without panicking.
+    let mut params = ParamStore::new();
+    let table = params.register("t", Tensor::full(3, 2, 1.0));
+    let mut g = Graph::new(&params);
+    let empty = g.gather(table, &[]);
+    assert_eq!(g.value(empty).rows(), 0);
+    let mean = g.mean_rows(empty); // zeros 1×2 by convention
+    assert_eq!(g.value(mean).as_slice(), &[0.0, 0.0]);
+}
+
+#[test]
+#[should_panic(expected = "scalar loss")]
+fn backward_rejects_non_scalar() {
+    let mut params = ParamStore::new();
+    let w = params.register("w", Tensor::full(2, 2, 1.0));
+    let mut g = Graph::new(&params);
+    let wv = g.param(w);
+    let _ = g.backward(wv);
+}

@@ -1,0 +1,203 @@
+//! Criterion micro-benchmarks for the substrates: dense kernels, autograd,
+//! CSR queries, alias sampling, and every walker. These back the paper's
+//! §III-D time-complexity analysis (hybrid aggregation `∏ Nᵢ·d²` plus the
+//! two attention terms) and the DESIGN.md §5 ablation notes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhg_autograd::{Graph, ParamStore};
+use mhg_datasets::DatasetKind;
+use mhg_graph::{MetapathScheme, NodeId};
+use mhg_sampling::{
+    AliasTable, InterRelationshipExplorer, MetapathNeighborSampler, MetapathWalker,
+    NegativeSampler, UniformWalker,
+};
+use mhg_tensor::InitKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = InitKind::XavierUniform.init(128, 128, &mut rng);
+    let b = InitKind::XavierUniform.init(128, 128, &mut rng);
+    c.bench_function("tensor/matmul_128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+
+    let big = InitKind::XavierUniform.init(2048, 128, &mut rng);
+    c.bench_function("tensor/softmax_rows_2048x128", |bench| {
+        bench.iter(|| black_box(big.softmax_rows()))
+    });
+
+    c.bench_function("tensor/mean_rows_2048x128", |bench| {
+        bench.iter(|| black_box(big.mean_rows()))
+    });
+}
+
+fn bench_autograd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut params = ParamStore::new();
+    let emb = params.register("emb", InitKind::XavierUniform.init(1000, 64, &mut rng));
+    let wq = params.register("wq", InitKind::XavierUniform.init(64, 64, &mut rng));
+    let wk = params.register("wk", InitKind::XavierUniform.init(64, 64, &mut rng));
+    let wv = params.register("wv", InitKind::XavierUniform.init(64, 64, &mut rng));
+    let indices: Vec<u32> = (0..32).collect();
+    let labels: Vec<f32> = (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+
+    // The exact attention block of Eq. 6 with a skip-gram loss: forward +
+    // backward, the inner loop of HybridGNN training.
+    c.bench_function("autograd/attention_fwd_bwd", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new(&params);
+            let h = g.gather(emb, &indices);
+            let q = {
+                let w = g.param(wq);
+                g.matmul(h, w)
+            };
+            let k = {
+                let w = g.param(wk);
+                g.matmul(h, w)
+            };
+            let v = {
+                let w = g.param(wv);
+                g.matmul(h, w)
+            };
+            let kt = g.transpose(k);
+            let logits = g.matmul(q, kt);
+            let scaled = g.scale(logits, 0.125);
+            let attn = g.softmax_rows(scaled);
+            let out = g.matmul(attn, v);
+            let left = g.slice_rows(out, 0, 16);
+            let right = g.slice_rows(out, 16, 32);
+            let scores = g.row_dot(left, right);
+            let loss = g.logistic_loss(scores, &labels);
+            black_box(g.backward(loss))
+        })
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let dataset = DatasetKind::Taobao.generate(0.05, 3);
+    let graph = dataset.graph;
+    let r = mhg_graph::RelationId(0);
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+
+    c.bench_function("graph/neighbors_scan", |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for &v in &nodes {
+                total += black_box(graph.neighbors(v, r)).len();
+            }
+            total
+        })
+    });
+
+    c.bench_function("graph/has_edge_probe", |bench| {
+        let u = nodes[0];
+        bench.iter(|| {
+            let mut hits = 0usize;
+            for &v in nodes.iter().take(1000) {
+                if black_box(graph.has_edge(u, v, r)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let dataset = DatasetKind::Taobao.generate(0.05, 4);
+    let graph = dataset.graph;
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let weights: Vec<f32> = (1..=10_000).map(|i| (i as f32).powf(-0.75)).collect();
+    let table = AliasTable::new(&weights);
+    c.bench_function("sampling/alias_draw", |bench| {
+        bench.iter(|| black_box(table.sample(&mut rng)))
+    });
+
+    // Linear-scan baseline for the alias table (DESIGN.md §5 ablation).
+    let cumsum: Vec<f32> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumsum.last().unwrap();
+    c.bench_function("sampling/linear_scan_draw", |bench| {
+        bench.iter(|| {
+            use rand::Rng;
+            let target = rng.gen::<f32>() * total;
+            black_box(cumsum.partition_point(|&x| x < target))
+        })
+    });
+
+    let walker = UniformWalker::new(&graph);
+    let start = graph.nodes().find(|&v| graph.total_degree(v) > 0).unwrap();
+    c.bench_function("sampling/uniform_walk_10", |bench| {
+        bench.iter(|| black_box(walker.walk(start, 10, &mut rng)))
+    });
+
+    let schema = graph.schema();
+    let user = schema.node_type_id("user").unwrap();
+    let item = schema.node_type_id("item").unwrap();
+    let scheme = MetapathScheme::intra(vec![user, item, user], mhg_graph::RelationId(0));
+    let mstart = graph
+        .nodes_of_type(user)
+        .iter()
+        .copied()
+        .find(|&v| graph.degree(v, mhg_graph::RelationId(0)) > 0)
+        .unwrap();
+    let mwalker = MetapathWalker::new(&graph, scheme.clone());
+    c.bench_function("sampling/metapath_walk_10", |bench| {
+        bench.iter(|| black_box(mwalker.walk(mstart, 10, &mut rng)))
+    });
+
+    let explorer = InterRelationshipExplorer::new(&graph);
+    c.bench_function("sampling/exploration_layers_L2", |bench| {
+        bench.iter(|| black_box(explorer.layered_neighbors(mstart, 2, 4, 16, &mut rng)))
+    });
+
+    let sampler = MetapathNeighborSampler::new(&graph, 4, 16);
+    c.bench_function("sampling/metapath_layers_K2", |bench| {
+        bench.iter(|| black_box(sampler.sample(mstart, &scheme, &mut rng)))
+    });
+
+    let negatives = NegativeSampler::new(&graph);
+    c.bench_function("sampling/negative_x5", |bench| {
+        bench.iter(|| black_box(negatives.sample_many(item, mstart, 5, &mut rng)))
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    use rand::Rng;
+    let scores: Vec<f32> = (0..10_000).map(|_| rng.gen()).collect();
+    let labels: Vec<bool> = (0..10_000).map(|_| rng.gen()).collect();
+    c.bench_function("eval/roc_auc_10k", |bench| {
+        bench.iter(|| black_box(mhg_eval::roc_auc(&scores, &labels)))
+    });
+    c.bench_function("eval/pr_auc_10k", |bench| {
+        bench.iter(|| black_box(mhg_eval::pr_auc(&scores, &labels)))
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let dataset = DatasetKind::Amazon.generate(0.05, 7);
+    let encoded = mhg_graph::persist::encode(&dataset.graph);
+    c.bench_function("graph/persist_encode", |bench| {
+        bench.iter(|| black_box(mhg_graph::persist::encode(&dataset.graph)))
+    });
+    c.bench_function("graph/persist_decode", |bench| {
+        bench.iter(|| black_box(mhg_graph::persist::decode(&encoded).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tensor, bench_autograd, bench_graph, bench_sampling, bench_metrics,
+              bench_persistence
+}
+criterion_main!(benches);

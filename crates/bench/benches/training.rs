@@ -1,0 +1,114 @@
+//! Criterion end-to-end training benchmarks: one full fit of each model
+//! family on a miniature multiplex graph, plus HybridGNN ablation-cost
+//! comparisons (what does each module cost at runtime?).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hybridgnn::{HybridConfig, HybridGnn};
+use mhg_datasets::{Dataset, DatasetKind, EdgeSplit};
+use mhg_models::{CommonConfig, DeepWalk, FitData, Gatne, Gcn, LinkPredictor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_setup() -> (Dataset, EdgeSplit) {
+    let dataset = DatasetKind::Taobao.generate(0.004, 11);
+    let mut rng = StdRng::seed_from_u64(12);
+    let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
+    (dataset, split)
+}
+
+fn tiny_common() -> CommonConfig {
+    CommonConfig {
+        epochs: 2,
+        patience: 10,
+        ..CommonConfig::fast()
+    }
+}
+
+fn fit<M: LinkPredictor>(mut model: M, dataset: &Dataset, split: &EdgeSplit) -> M {
+    let mut rng = StdRng::seed_from_u64(13);
+    let data = FitData {
+        graph: &split.train_graph,
+        metapath_shapes: &dataset.metapath_shapes,
+        val: &split.val,
+    };
+    model.fit(&data, &mut rng);
+    model
+}
+
+fn bench_model_fits(c: &mut Criterion) {
+    let (dataset, split) = tiny_setup();
+    let mut group = c.benchmark_group("fit_2_epochs");
+    group.sample_size(10);
+
+    group.bench_function("deepwalk", |b| {
+        b.iter(|| black_box(fit(DeepWalk::new(tiny_common()), &dataset, &split)))
+    });
+    group.bench_function("gcn", |b| {
+        b.iter(|| black_box(fit(Gcn::new(tiny_common()), &dataset, &split)))
+    });
+    group.bench_function("gatne", |b| {
+        b.iter(|| black_box(fit(Gatne::new(tiny_common()), &dataset, &split)))
+    });
+    group.bench_function("hybridgnn", |b| {
+        b.iter(|| {
+            let cfg = HybridConfig {
+                common: tiny_common(),
+                ..HybridConfig::default()
+            };
+            black_box(fit(HybridGnn::new(cfg), &dataset, &split))
+        })
+    });
+    group.finish();
+}
+
+/// What each HybridGNN module costs: the ablations are also a runtime
+/// comparison (complexity analysis §III-D).
+fn bench_hybrid_ablation_cost(c: &mut Criterion) {
+    let (dataset, split) = tiny_setup();
+    let mut group = c.benchmark_group("hybridgnn_module_cost");
+    group.sample_size(10);
+
+    let variants: Vec<(&str, HybridConfig)> = vec![
+        (
+            "full",
+            HybridConfig {
+                common: tiny_common(),
+                ..HybridConfig::default()
+            },
+        ),
+        (
+            "no_metapath_attn",
+            HybridConfig {
+                common: tiny_common(),
+                ..HybridConfig::default()
+            }
+            .without_metapath_attention(),
+        ),
+        (
+            "no_randomized",
+            HybridConfig {
+                common: tiny_common(),
+                ..HybridConfig::default()
+            }
+            .without_randomized_exploration(),
+        ),
+        (
+            "depth_3",
+            HybridConfig {
+                common: tiny_common(),
+                exploration_depth: 3,
+                ..HybridConfig::default()
+            },
+        ),
+    ];
+
+    for (name, cfg) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(fit(HybridGnn::new(cfg.clone()), &dataset, &split)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_fits, bench_hybrid_ablation_cost);
+criterion_main!(benches);

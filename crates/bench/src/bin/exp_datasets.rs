@@ -1,0 +1,56 @@
+//! Table II — dataset statistics.
+//!
+//! Regenerates the paper's dataset-statistics table from the synthetic
+//! generators. Run with `--scale 1.0` to compare against the published
+//! sizes directly.
+
+use mhg_bench::ExpConfig;
+use mhg_datasets::DatasetKind;
+use mhg_graph::GraphStats;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!("Table II — dataset statistics (scale {})", cfg.scale);
+    println!(
+        "{:<10} {:>9} {:>9} {:>5} {:>5}  metapaths",
+        "dataset", "|V|", "|E|", "|O|", "|R|"
+    );
+    for kind in cfg.dataset_set(&DatasetKind::ALL) {
+        let dataset = kind.generate(cfg.scale, cfg.seed);
+        let stats = GraphStats::compute(&dataset.graph);
+        let shapes: Vec<String> = dataset
+            .metapath_shapes
+            .iter()
+            .map(|shape| {
+                shape
+                    .iter()
+                    .map(|&t| {
+                        dataset
+                            .graph
+                            .schema()
+                            .node_type_name(t)
+                            .chars()
+                            .next()
+                            .unwrap_or('?')
+                            .to_uppercase()
+                            .to_string()
+                    })
+                    .collect::<Vec<_>>()
+                    .join("-")
+            })
+            .collect();
+        println!(
+            "{:<10} {:>9} {:>9} {:>5} {:>5}  {}",
+            kind.name(),
+            stats.num_nodes,
+            stats.num_edges,
+            stats.num_node_types,
+            stats.num_relations,
+            shapes.join(", ")
+        );
+        println!(
+            "{:<10} mean degree {:.1}, max degree {}, multiplex pairs {:.1}%",
+            "", stats.mean_degree, stats.max_degree, 100.0 * stats.multiplex_pair_fraction
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 3 — hyper-parameter sensitivity of HybridGNN: base dimension `d_m`,
+//! edge dimension `d_e`, and negative-sample count `n`, per dataset
+//! (ROC-AUC series).
+
+use hybridgnn::HybridGnn;
+use mhg_bench::{prepare, run_model, ExpConfig};
+use mhg_datasets::DatasetKind;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let datasets = cfg.dataset_set(&[
+        DatasetKind::Amazon,
+        DatasetKind::YouTube,
+        DatasetKind::Imdb,
+        DatasetKind::Taobao,
+    ]);
+    println!(
+        "Fig. 3 — parameter sensitivity, ROC-AUC % (scale {}, epochs {})",
+        cfg.scale, cfg.epochs
+    );
+
+    // (a) base embedding dimension d_m.
+    println!("\n(a) d_m sweep");
+    sweep(&cfg, &datasets, &[64, 128, 256], |c, v| {
+        c.common.dim = v;
+    });
+
+    // (b) edge embedding dimension d_e.
+    println!("\n(b) d_e sweep");
+    sweep(&cfg, &datasets, &[2, 8, 16, 32, 64], |c, v| {
+        c.common.edge_dim = v;
+    });
+
+    // (c) negative sample count n.
+    println!("\n(c) negatives sweep");
+    sweep(&cfg, &datasets, &[1, 3, 5, 7], |c, v| {
+        c.common.negatives = v;
+    });
+}
+
+fn sweep(
+    cfg: &ExpConfig,
+    datasets: &[DatasetKind],
+    values: &[usize],
+    apply: impl Fn(&mut hybridgnn::HybridConfig, usize),
+) {
+    print!("{:<8}", "value");
+    for kind in datasets {
+        print!(" {:>9}", kind.name());
+    }
+    println!();
+    for &v in values {
+        print!("{v:<8}");
+        for &kind in datasets {
+            let (dataset, split) = prepare(kind, cfg, 0);
+            let mut hybrid_cfg = cfg.hybrid();
+            apply(&mut hybrid_cfg, v);
+            let mut model = HybridGnn::new(hybrid_cfg);
+            let m = run_model(&mut model, &dataset, &split, cfg, 0);
+            print!(" {:>9.2}", m.roc_auc);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Table IV — link prediction on Amazon, YouTube and IMDb: all ten models,
+//! five metrics, optional multi-run t-test (`--runs N`).
+
+use mhg_bench::{link_prediction_experiment, ExpConfig};
+use mhg_datasets::DatasetKind;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!(
+        "Table IV — link prediction (scale {}, dim {}, epochs {}, runs {})",
+        cfg.scale, cfg.dim, cfg.epochs, cfg.runs
+    );
+    link_prediction_experiment(
+        &cfg,
+        &[DatasetKind::Amazon, DatasetKind::YouTube, DatasetKind::Imdb],
+    );
+}

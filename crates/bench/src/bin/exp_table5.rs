@@ -1,0 +1,14 @@
+//! Table V — link prediction on Taobao and Kuaishou (the fully multiplex
+//! heterogeneous case `|O| ≥ 2, |R| ≥ 2`).
+
+use mhg_bench::{link_prediction_experiment, ExpConfig};
+use mhg_datasets::DatasetKind;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!(
+        "Table V — link prediction (scale {}, dim {}, epochs {}, runs {})",
+        cfg.scale, cfg.dim, cfg.epochs, cfg.runs
+    );
+    link_prediction_experiment(&cfg, &[DatasetKind::Taobao, DatasetKind::Kuaishou]);
+}

@@ -1,0 +1,39 @@
+//! Table VI — effect of the randomized-exploration search depth `L`:
+//! HybridGNN with L ∈ {1, 2, 3} on Amazon, YouTube, IMDb, Taobao
+//! (ROC-AUC and F1 per cell, as in the paper).
+
+use hybridgnn::HybridGnn;
+use mhg_bench::{prepare, run_model, ExpConfig};
+use mhg_datasets::DatasetKind;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let datasets = cfg.dataset_set(&[
+        DatasetKind::Amazon,
+        DatasetKind::YouTube,
+        DatasetKind::Imdb,
+        DatasetKind::Taobao,
+    ]);
+    println!(
+        "Table VI — exploration depth sweep (scale {}, epochs {})",
+        cfg.scale, cfg.epochs
+    );
+    print!("{:<18}", "depth");
+    for kind in &datasets {
+        print!(" {:>16}", kind.name());
+    }
+    println!("\n{:<18} ROC-AUC / F1 (%) per dataset", "");
+
+    for depth in 1..=3usize {
+        print!("HybridGNN (L={depth}) ");
+        for &kind in &datasets {
+            let (dataset, split) = prepare(kind, &cfg, 0);
+            let mut hybrid_cfg = cfg.hybrid();
+            hybrid_cfg.exploration_depth = depth;
+            let mut model = HybridGnn::new(hybrid_cfg);
+            let m = run_model(&mut model, &dataset, &split, &cfg, 0);
+            print!(" {:>7.2}/{:>7.2}", m.roc_auc, m.f1);
+        }
+        println!();
+    }
+}

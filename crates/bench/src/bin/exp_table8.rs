@@ -1,0 +1,58 @@
+//! Table VIII — ablation study (F1, %): the full model against the four
+//! ablations, on Amazon, YouTube, IMDb and Taobao.
+
+use hybridgnn::{HybridConfig, HybridGnn};
+use mhg_bench::{prepare, run_model, ExpConfig};
+use mhg_datasets::DatasetKind;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let datasets = cfg.dataset_set(&[
+        DatasetKind::Amazon,
+        DatasetKind::YouTube,
+        DatasetKind::Imdb,
+        DatasetKind::Taobao,
+    ]);
+    println!(
+        "Table VIII — ablation study, F1 % (scale {}, epochs {})",
+        cfg.scale, cfg.epochs
+    );
+
+    type Variant = (&'static str, Box<dyn Fn(HybridConfig) -> HybridConfig>);
+    let variants: Vec<Variant> = vec![
+        ("HybridGNN", Box::new(|c: HybridConfig| c)),
+        (
+            "w/o metapath-level attention",
+            Box::new(HybridConfig::without_metapath_attention),
+        ),
+        (
+            "w/o relationship-level attention",
+            Box::new(HybridConfig::without_relationship_attention),
+        ),
+        (
+            "w/o randomized exploration",
+            Box::new(HybridConfig::without_randomized_exploration),
+        ),
+        (
+            "w/o hybrid aggregation flow",
+            Box::new(HybridConfig::without_hybrid_flows),
+        ),
+    ];
+
+    print!("{:<34}", "variant");
+    for kind in &datasets {
+        print!(" {:>9}", kind.name());
+    }
+    println!();
+
+    for (name, make) in &variants {
+        print!("{name:<34}");
+        for &kind in &datasets {
+            let (dataset, split) = prepare(kind, &cfg, 0);
+            let mut model = HybridGnn::new(make(cfg.hybrid()));
+            let m = run_model(&mut model, &dataset, &split, &cfg, 0);
+            print!(" {:>9.2}", m.f1);
+        }
+        println!();
+    }
+}

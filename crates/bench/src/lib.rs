@@ -1,0 +1,371 @@
+//! Shared experiment-harness machinery for the table/figure binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper;
+//! this library holds what they share: CLI parsing, the model zoo, the
+//! train-and-evaluate pipeline, and table formatting. See `DESIGN.md` §3
+//! for the experiment index.
+
+use hybridgnn::{HybridConfig, HybridGnn};
+use mhg_datasets::{Dataset, DatasetKind, EdgeSplit};
+use mhg_eval::{topk_metrics, TopKMetrics};
+use mhg_models::{
+    evaluate, ranking_queries, CommonConfig, DeepWalk, FitData, Gatne, Gcn, GraphSage, Han,
+    Line, LinkPredictor, Magnn, ModelMetrics, Node2Vec, RGcn,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Common experiment options, parsed from `std::env::args`.
+///
+/// Flags: `--scale <f64>`, `--seed <u64>`, `--epochs <usize>`,
+/// `--dim <usize>`, `--runs <usize>`, `--k <usize>`, `--datasets a,b,c`.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Dataset scale relative to the paper's published sizes.
+    pub scale: f64,
+    /// Base RNG seed; run `i` uses `seed + i`.
+    pub seed: u64,
+    /// Training epochs per model.
+    pub epochs: usize,
+    /// Embedding dimension `d_m` used by the harness (the paper's 128 is a
+    /// flag away; 64 keeps default runs fast).
+    pub dim: usize,
+    /// Independent repetitions (needed for the t-test columns).
+    pub runs: usize,
+    /// K for PR@K / HR@K.
+    pub k: usize,
+    /// Candidate-pool size per ranking query.
+    pub pool: usize,
+    /// Maximum ranking queries per dataset.
+    pub max_queries: usize,
+    /// Dataset filter (empty = the experiment's default set).
+    pub datasets: Vec<DatasetKind>,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.05,
+            seed: 42,
+            epochs: 12,
+            dim: 64,
+            runs: 1,
+            k: 10,
+            pool: 200,
+            max_queries: 150,
+            datasets: Vec::new(),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Parses CLI flags, falling back to defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = args.get(i + 1).cloned();
+            let parse_f64 = |v: &Option<String>| -> f64 {
+                v.as_ref()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("{flag} requires a numeric value"))
+            };
+            let parse_usize = |v: &Option<String>| -> usize {
+                v.as_ref()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("{flag} requires an integer value"))
+            };
+            match flag {
+                "--scale" => cfg.scale = parse_f64(&value),
+                "--seed" => cfg.seed = parse_usize(&value) as u64,
+                "--epochs" => cfg.epochs = parse_usize(&value),
+                "--dim" => cfg.dim = parse_usize(&value),
+                "--runs" => cfg.runs = parse_usize(&value),
+                "--k" => cfg.k = parse_usize(&value),
+                "--pool" => cfg.pool = parse_usize(&value),
+                "--max-queries" => cfg.max_queries = parse_usize(&value),
+                "--datasets" => {
+                    cfg.datasets = value
+                        .as_ref()
+                        .expect("--datasets requires a comma list")
+                        .split(',')
+                        .map(|s| {
+                            DatasetKind::parse(s)
+                                .unwrap_or_else(|| panic!("unknown dataset {s:?}"))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale f --seed n --epochs n --dim n --runs n --k n \
+                         --pool n --max-queries n --datasets a,b,c"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+            i += 2;
+        }
+        cfg
+    }
+
+    /// The experiment's dataset list: the CLI override, or `default_set`.
+    pub fn dataset_set(&self, default_set: &[DatasetKind]) -> Vec<DatasetKind> {
+        if self.datasets.is_empty() {
+            default_set.to_vec()
+        } else {
+            self.datasets.clone()
+        }
+    }
+
+    /// Shared model hyper-parameters derived from the experiment flags.
+    pub fn common(&self) -> CommonConfig {
+        CommonConfig {
+            dim: self.dim,
+            epochs: self.epochs,
+            ..CommonConfig::default()
+        }
+    }
+
+    /// HybridGNN configuration derived from the experiment flags.
+    pub fn hybrid(&self) -> HybridConfig {
+        HybridConfig {
+            common: self.common(),
+            ..HybridConfig::default()
+        }
+    }
+}
+
+/// The ten models of Tables IV–V, in the paper's row order.
+pub fn model_zoo(cfg: &ExpConfig) -> Vec<Box<dyn LinkPredictor>> {
+    let c = cfg.common();
+    vec![
+        Box::new(DeepWalk::new(c.clone())),
+        Box::new(Node2Vec::new(c.clone())),
+        Box::new(Line::new(c.clone())),
+        Box::new(Gcn::new(c.clone())),
+        Box::new(GraphSage::new(c.clone())),
+        Box::new(Han::new(c.clone())),
+        Box::new(Magnn::new(c.clone())),
+        Box::new(RGcn::new(c.clone())),
+        Box::new(Gatne::new(c)),
+        Box::new(HybridGnn::new(cfg.hybrid())),
+    ]
+}
+
+/// All five metric columns of Tables IV–V.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullMetrics {
+    /// ROC-AUC (%).
+    pub roc_auc: f64,
+    /// PR-AUC (%).
+    pub pr_auc: f64,
+    /// F1 (%).
+    pub f1: f64,
+    /// PR@K.
+    pub pr_at_k: f64,
+    /// HR@K.
+    pub hr_at_k: f64,
+}
+
+/// Generates a dataset and its split, deterministically.
+pub fn prepare(kind: DatasetKind, cfg: &ExpConfig, run: usize) -> (Dataset, EdgeSplit) {
+    let dataset = kind.generate(cfg.scale, cfg.seed + run as u64);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5151 ^ run as u64);
+    let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
+    (dataset, split)
+}
+
+/// Trains one model and evaluates the full metric set.
+pub fn run_model(
+    model: &mut dyn LinkPredictor,
+    dataset: &Dataset,
+    split: &EdgeSplit,
+    cfg: &ExpConfig,
+    run: usize,
+) -> FullMetrics {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x77aa ^ run as u64);
+    let data = FitData {
+        graph: &split.train_graph,
+        metapath_shapes: &dataset.metapath_shapes,
+        val: &split.val,
+    };
+    model.fit(&data, &mut rng);
+    classification_and_ranking(model, dataset, split, cfg, run)
+}
+
+/// Evaluates an already-trained model.
+pub fn classification_and_ranking(
+    model: &dyn LinkPredictor,
+    dataset: &Dataset,
+    split: &EdgeSplit,
+    cfg: &ExpConfig,
+    run: usize,
+) -> FullMetrics {
+    let cls: ModelMetrics = evaluate(model, &split.test);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x99bb ^ run as u64);
+    let queries = ranking_queries(
+        model,
+        &dataset.graph,
+        &split.test,
+        cfg.pool,
+        cfg.max_queries,
+        &mut rng,
+    );
+    let ranked: Vec<_> = queries.into_iter().map(|q| q.query).collect();
+    let topk: TopKMetrics = topk_metrics(&ranked, cfg.k);
+    FullMetrics {
+        roc_auc: cls.roc_auc * 100.0,
+        pr_auc: cls.pr_auc * 100.0,
+        f1: cls.f1 * 100.0,
+        pr_at_k: topk.precision,
+        hr_at_k: topk.hit_ratio,
+    }
+}
+
+/// Prints a Tables IV/V-style header.
+pub fn print_header(dataset: &str, k: usize) {
+    println!("\n== {dataset} ==");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "model", "ROC-AUC", "PR-AUC", "F1", format!("PR@{k}"), format!("HR@{k}")
+    );
+}
+
+/// Prints one model row.
+pub fn print_row(name: &str, m: &FullMetrics) {
+    println!(
+        "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.4} {:>8.4}",
+        name, m.roc_auc, m.pr_auc, m.f1, m.pr_at_k, m.hr_at_k
+    );
+}
+
+/// Runs the Tables IV/V link-prediction comparison over `default_sets`:
+/// all ten models × all metrics, averaged over `cfg.runs` repetitions, with
+/// a Welch t-test of HybridGNN against the best baseline when `runs ≥ 2`.
+pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind]) {
+    for kind in cfg.dataset_set(default_sets) {
+        let model_names: Vec<&'static str> =
+            model_zoo(cfg).iter().map(|m| m.name()).collect();
+        let mut results: Vec<Vec<FullMetrics>> = vec![Vec::new(); model_names.len()];
+
+        for run in 0..cfg.runs {
+            let (dataset, split) = prepare(kind, cfg, run);
+            for (mi, model) in model_zoo(cfg).iter_mut().enumerate() {
+                let started = std::time::Instant::now();
+                let metrics = run_model(model.as_mut(), &dataset, &split, cfg, run);
+                eprintln!(
+                    "[{kind} run {run}] {} done in {:.1?}",
+                    model.name(),
+                    started.elapsed()
+                );
+                results[mi].push(metrics);
+            }
+        }
+
+        print_header(kind.name(), cfg.k);
+        for (mi, name) in model_names.iter().enumerate() {
+            print_row(name, &mean_metrics(&results[mi]));
+        }
+
+        if cfg.runs >= 2 {
+            let hybrid_idx = model_names.len() - 1;
+            let hybrid: Vec<f64> = results[hybrid_idx].iter().map(|m| m.roc_auc).collect();
+            // Runner-up = best baseline by mean ROC-AUC.
+            let (best_idx, _) = results[..hybrid_idx]
+                .iter()
+                .enumerate()
+                .map(|(i, ms)| (i, mhg_eval::mean(&ms.iter().map(|m| m.roc_auc).collect::<Vec<_>>())))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            let baseline: Vec<f64> = results[best_idx].iter().map(|m| m.roc_auc).collect();
+            if let Some(t) = mhg_eval::welch_t_test(&hybrid, &baseline) {
+                println!(
+                    "t-test HybridGNN vs {} (ROC-AUC over {} runs): t={:.3}, p={:.4}{}",
+                    model_names[best_idx],
+                    cfg.runs,
+                    t.t,
+                    t.p_two_tailed,
+                    if t.p_two_tailed < 0.01 { "  (p<0.01 *)" } else { "" }
+                );
+            }
+        }
+    }
+}
+
+/// Component-wise mean of repeated metric measurements.
+pub fn mean_metrics(ms: &[FullMetrics]) -> FullMetrics {
+    let n = ms.len().max(1) as f64;
+    FullMetrics {
+        roc_auc: ms.iter().map(|m| m.roc_auc).sum::<f64>() / n,
+        pr_auc: ms.iter().map(|m| m.pr_auc).sum::<f64>() / n,
+        f1: ms.iter().map(|m| m.f1).sum::<f64>() / n,
+        pr_at_k: ms.iter().map(|m| m.pr_at_k).sum::<f64>() / n,
+        hr_at_k: ms.iter().map(|m| m.hr_at_k).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let cfg = ExpConfig::default();
+        assert!(cfg.scale > 0.0 && cfg.runs >= 1 && cfg.k == 10);
+    }
+
+    #[test]
+    fn zoo_has_ten_models_in_paper_order() {
+        let cfg = ExpConfig {
+            epochs: 1,
+            ..ExpConfig::default()
+        };
+        let zoo = model_zoo(&cfg);
+        let names: Vec<&str> = zoo.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "DeepWalk", "node2vec", "LINE", "GCN", "GraphSage", "HAN", "MAGNN",
+                "R-GCN", "GATNE", "HybridGNN"
+            ]
+        );
+    }
+
+    #[test]
+    fn dataset_set_override() {
+        let mut cfg = ExpConfig::default();
+        assert_eq!(
+            cfg.dataset_set(&[DatasetKind::Amazon]),
+            vec![DatasetKind::Amazon]
+        );
+        cfg.datasets = vec![DatasetKind::Imdb];
+        assert_eq!(
+            cfg.dataset_set(&[DatasetKind::Amazon]),
+            vec![DatasetKind::Imdb]
+        );
+    }
+
+    #[test]
+    fn end_to_end_tiny_run() {
+        let cfg = ExpConfig {
+            scale: 0.005,
+            epochs: 2,
+            dim: 16,
+            pool: 20,
+            max_queries: 10,
+            ..ExpConfig::default()
+        };
+        let (dataset, split) = prepare(DatasetKind::Amazon, &cfg, 0);
+        let mut model = DeepWalk::new(cfg.common());
+        let m = run_model(&mut model, &dataset, &split, &cfg, 0);
+        assert!(m.roc_auc > 0.0 && m.roc_auc <= 100.0);
+        assert!((0.0..=1.0).contains(&m.pr_at_k));
+    }
+}

@@ -1,0 +1,157 @@
+//! The [`Dataset`] bundle and the registry of the paper's five datasets.
+
+use mhg_graph::{MetapathScheme, MultiplexGraph, NodeTypeId, RelationId};
+
+/// A generated dataset: the graph plus the predefined metapath shapes from
+/// the paper's Table II.
+///
+/// Shapes are node-type sequences (e.g. `U-I-U`); the per-relation scheme
+/// sets `PS_{r_l}` of §III-C are obtained by instantiating every shape as an
+/// intra-relationship scheme under `r_l` via [`Dataset::schemes_for`].
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// The generated multiplex heterogeneous graph.
+    pub graph: MultiplexGraph,
+    /// Metapath type shapes from Table II.
+    pub metapath_shapes: Vec<Vec<NodeTypeId>>,
+}
+
+impl Dataset {
+    /// The predefined scheme set `PS_r`: every Table II shape instantiated
+    /// under relation `r`.
+    pub fn schemes_for(&self, r: RelationId) -> Vec<MetapathScheme> {
+        self.metapath_shapes
+            .iter()
+            .map(|shape| MetapathScheme::intra(shape.clone(), r))
+            .collect()
+    }
+
+    /// All `(relation, scheme)` combinations.
+    pub fn all_schemes(&self) -> Vec<(RelationId, MetapathScheme)> {
+        self.graph
+            .schema()
+            .relations()
+            .flat_map(|r| self.schemes_for(r).into_iter().map(move |s| (r, s)))
+            .collect()
+    }
+}
+
+/// The five datasets of the paper's evaluation (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Amazon Electronics: 1 node type, 2 relations (`G₁`: `|O|=1, |R|≥2`).
+    Amazon,
+    /// YouTube multi-view: 1 node type, 5 relations (`G₁`).
+    YouTube,
+    /// IMDb: 3 node types, 1 relation (`G₂`: `|O|≥2, |R|=1`).
+    Imdb,
+    /// Taobao user behaviours: 2 node types, 4 relations (`G₃`).
+    Taobao,
+    /// Kuaishou interactions: 3 node types, 4 relations (`G₃`).
+    Kuaishou,
+}
+
+impl DatasetKind {
+    /// All five datasets in the paper's order.
+    pub const ALL: [DatasetKind; 5] = [
+        DatasetKind::Amazon,
+        DatasetKind::YouTube,
+        DatasetKind::Imdb,
+        DatasetKind::Taobao,
+        DatasetKind::Kuaishou,
+    ];
+
+    /// The dataset's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Amazon => "Amazon",
+            DatasetKind::YouTube => "YouTube",
+            DatasetKind::Imdb => "IMDb",
+            DatasetKind::Taobao => "Taobao",
+            DatasetKind::Kuaishou => "Kuaishou",
+        }
+    }
+
+    /// Parses a case-insensitive dataset name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "amazon" => Some(DatasetKind::Amazon),
+            "youtube" => Some(DatasetKind::YouTube),
+            "imdb" => Some(DatasetKind::Imdb),
+            "taobao" => Some(DatasetKind::Taobao),
+            "kuaishou" => Some(DatasetKind::Kuaishou),
+            _ => None,
+        }
+    }
+
+    /// Generates the dataset at `scale ∈ (0, 1]` of the paper's published
+    /// size, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1.5]`.
+    pub fn generate(self, scale: f64, seed: u64) -> Dataset {
+        assert!(
+            scale > 0.0 && scale <= 1.5,
+            "scale must be in (0, 1.5], got {scale}"
+        );
+        match self {
+            DatasetKind::Amazon => crate::amazon::generate(scale, seed),
+            DatasetKind::YouTube => crate::youtube::generate(scale, seed),
+            DatasetKind::Imdb => crate::imdb::generate(scale, seed),
+            DatasetKind::Taobao => crate::taobao::generate(scale, seed),
+            DatasetKind::Kuaishou => crate::kuaishou::generate(scale, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scales a published count, keeping a sane floor.
+pub(crate) fn scaled(full: usize, scale: f64) -> usize {
+    ((full as f64 * scale).round() as usize).max(4)
+}
+
+/// Scales a community count with the square root of `scale` so communities
+/// keep a useful size on small graphs.
+pub(crate) fn scaled_communities(full: usize, scale: f64) -> usize {
+    ((full as f64 * scale.sqrt()).round() as usize).clamp(3, full.max(3))
+}
+
+/// Caps an edge target at a fraction of the possible pairs so dense graphs
+/// stay samplable at small scales.
+pub(crate) fn cap_edges(target: usize, possible_pairs: usize) -> usize {
+    target.min((possible_pairs as f64 * 0.3) as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for kind in DatasetKind::ALL {
+            assert_eq!(DatasetKind::parse(kind.name()), Some(kind));
+            assert_eq!(
+                DatasetKind::parse(&kind.name().to_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(DatasetKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn scaling_helpers() {
+        assert_eq!(scaled(1000, 0.1), 100);
+        assert_eq!(scaled(10, 0.01), 4); // floor
+        assert!(scaled_communities(100, 0.01) >= 3);
+        assert_eq!(cap_edges(1000, 100), 30);
+        assert_eq!(cap_edges(10, 1_000_000), 10);
+    }
+}

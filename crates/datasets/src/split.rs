@@ -1,0 +1,272 @@
+//! Train/validation/test edge splitting with sampled negatives.
+//!
+//! Follows the paper's protocol (§IV-C): 85% of edges train, 5% validate,
+//! 10% test, split per relation; for every positive evaluation edge one
+//! negative of the same relation is sampled with a matched endpoint type and
+//! verified absent from the *full* graph.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use mhg_graph::{GraphBuilder, MultiplexGraph, NodeId, RelationId, Schema};
+
+/// An evaluation edge with its ground-truth label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabeledEdge {
+    /// Source endpoint.
+    pub u: NodeId,
+    /// Target endpoint.
+    pub v: NodeId,
+    /// Relation being predicted.
+    pub relation: RelationId,
+    /// `true` for held-out positives, `false` for sampled negatives.
+    pub label: bool,
+}
+
+/// Split fractions.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitConfig {
+    /// Fraction of edges used for training (default 0.85).
+    pub train_frac: f64,
+    /// Fraction used for validation (default 0.05). The remainder tests.
+    pub val_frac: f64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self {
+            train_frac: 0.85,
+            val_frac: 0.05,
+        }
+    }
+}
+
+/// The result of splitting a multiplex graph.
+#[derive(Clone, Debug)]
+pub struct EdgeSplit {
+    /// Graph containing only training edges (same node set and schema).
+    pub train_graph: MultiplexGraph,
+    /// Validation positives and negatives (interleaved, shuffled).
+    pub val: Vec<LabeledEdge>,
+    /// Test positives and negatives (interleaved, shuffled).
+    pub test: Vec<LabeledEdge>,
+}
+
+impl EdgeSplit {
+    /// Splits `graph` per relation with the given fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are out of range.
+    pub fn new<R: Rng + ?Sized>(
+        graph: &MultiplexGraph,
+        config: SplitConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            config.train_frac > 0.0
+                && config.val_frac >= 0.0
+                && config.train_frac + config.val_frac < 1.0,
+            "invalid split fractions"
+        );
+
+        let schema: Schema = graph.schema().clone();
+        let mut builder = GraphBuilder::new(schema);
+        for v in graph.nodes() {
+            builder.add_node(graph.node_type(v));
+        }
+
+        let mut val = Vec::new();
+        let mut test = Vec::new();
+
+        for r in graph.schema().relations() {
+            let mut edges: Vec<(NodeId, NodeId)> = graph.edges_in(r).collect();
+            edges.shuffle(rng);
+            let n = edges.len();
+            let n_train = ((n as f64) * config.train_frac).round() as usize;
+            let n_val = ((n as f64) * config.val_frac).round() as usize;
+
+            for &(u, v) in &edges[..n_train.min(n)] {
+                builder.add_edge(u, v, r);
+            }
+            for &(u, v) in edges.iter().skip(n_train).take(n_val) {
+                push_labeled(graph, u, v, r, &mut val, rng);
+            }
+            for &(u, v) in edges.iter().skip(n_train + n_val) {
+                push_labeled(graph, u, v, r, &mut test, rng);
+            }
+        }
+
+        val.shuffle(rng);
+        test.shuffle(rng);
+
+        Self {
+            train_graph: builder.build(),
+            val,
+            test,
+        }
+    }
+
+    /// Splits with the paper's default 85/5/10 fractions.
+    pub fn default_split<R: Rng + ?Sized>(graph: &MultiplexGraph, rng: &mut R) -> Self {
+        Self::new(graph, SplitConfig::default(), rng)
+    }
+
+    /// Test positives only (e.g. for ranking metrics).
+    pub fn test_positives(&self) -> impl Iterator<Item = &LabeledEdge> {
+        self.test.iter().filter(|e| e.label)
+    }
+}
+
+/// Pushes the positive and one matched negative.
+fn push_labeled<R: Rng + ?Sized>(
+    graph: &MultiplexGraph,
+    u: NodeId,
+    v: NodeId,
+    r: RelationId,
+    out: &mut Vec<LabeledEdge>,
+    rng: &mut R,
+) {
+    out.push(LabeledEdge {
+        u,
+        v,
+        relation: r,
+        label: true,
+    });
+    if let Some(neg) = sample_negative(graph, u, v, r, rng) {
+        out.push(LabeledEdge {
+            u,
+            v: neg,
+            relation: r,
+            label: false,
+        });
+    }
+}
+
+/// Samples `v'` with `type(v') == type(v)` and `(u, v') ∉ E_r` in the full
+/// graph. Bounded attempts; `None` when the type is saturated.
+fn sample_negative<R: Rng + ?Sized>(
+    graph: &MultiplexGraph,
+    u: NodeId,
+    v: NodeId,
+    r: RelationId,
+    rng: &mut R,
+) -> Option<NodeId> {
+    let candidates = graph.nodes_of_type(graph.node_type(v));
+    if candidates.len() < 2 {
+        return None;
+    }
+    for _ in 0..64 {
+        let cand = candidates[rng.gen_range(0..candidates.len())];
+        if cand != u && cand != v && !graph.has_edge(u, cand, r) {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhg_graph::{GraphBuilder, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_graph(n: usize) -> MultiplexGraph {
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        let r0 = schema.add_relation("a");
+        let r1 = schema.add_relation("b");
+        let mut b = GraphBuilder::new(schema);
+        let nodes: Vec<_> = (0..n).map(|_| b.add_node(t)).collect();
+        for i in 0..n {
+            b.add_edge(nodes[i], nodes[(i + 1) % n], r0);
+            if i % 2 == 0 {
+                b.add_edge(nodes[i], nodes[(i + 3) % n], r1);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fractions_roughly_respected() {
+        let g = ring_graph(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = EdgeSplit::default_split(&g, &mut rng);
+        let total = g.num_edges();
+        let train = split.train_graph.num_edges();
+        assert!(
+            (train as f64 / total as f64 - 0.85).abs() < 0.05,
+            "train fraction {}",
+            train as f64 / total as f64
+        );
+        let test_pos = split.test_positives().count();
+        assert!(
+            (test_pos as f64 / total as f64 - 0.10).abs() < 0.05,
+            "test fraction {}",
+            test_pos as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn train_graph_preserves_nodes_and_schema() {
+        let g = ring_graph(40);
+        let mut rng = StdRng::seed_from_u64(2);
+        let split = EdgeSplit::default_split(&g, &mut rng);
+        assert_eq!(split.train_graph.num_nodes(), g.num_nodes());
+        assert_eq!(split.train_graph.schema(), g.schema());
+    }
+
+    #[test]
+    fn eval_positives_are_real_edges_and_not_in_train() {
+        let g = ring_graph(60);
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = EdgeSplit::default_split(&g, &mut rng);
+        for e in split.val.iter().chain(&split.test) {
+            if e.label {
+                assert!(g.has_edge(e.u, e.v, e.relation), "positive not in graph");
+                assert!(
+                    !split.train_graph.has_edge(e.u, e.v, e.relation),
+                    "leak: eval edge in train graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negatives_are_nonedges_with_matched_type() {
+        let g = ring_graph(60);
+        let mut rng = StdRng::seed_from_u64(4);
+        let split = EdgeSplit::default_split(&g, &mut rng);
+        for e in split.val.iter().chain(&split.test) {
+            if !e.label {
+                assert!(
+                    !g.has_edge(e.u, e.v, e.relation),
+                    "negative is actually an edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negatives_roughly_balance_positives() {
+        let g = ring_graph(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let split = EdgeSplit::default_split(&g, &mut rng);
+        let pos = split.test.iter().filter(|e| e.label).count();
+        let neg = split.test.len() - pos;
+        assert!(neg >= pos * 9 / 10, "too few negatives: {neg} vs {pos}");
+    }
+
+    #[test]
+    fn per_relation_split() {
+        // Both relations must appear in test if they have enough edges.
+        let g = ring_graph(100);
+        let mut rng = StdRng::seed_from_u64(6);
+        let split = EdgeSplit::default_split(&g, &mut rng);
+        let mut rels: Vec<u16> = split.test.iter().map(|e| e.relation.0).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        assert_eq!(rels, vec![0, 1]);
+    }
+}

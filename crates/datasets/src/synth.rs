@@ -1,0 +1,409 @@
+//! Planted-community edge sampling — the shared machinery behind all five
+//! dataset generators.
+//!
+//! Every synthetic graph is built from the same latent structure:
+//!
+//! * nodes are partitioned into latent *communities* (topics, genres,
+//!   interest clusters);
+//! * node *activity* follows a heavy-tailed distribution, producing the
+//!   skewed degree profiles real interaction logs show;
+//! * an edge under relation `r` connects two nodes of the *same community*
+//!   with probability `1 − noise_r`, and a uniformly random pair otherwise.
+//!
+//! Relations drawn over the **same** community assignment are correlated —
+//! observing `u ~ v` under a dense relation is evidence for `u ~ v` under a
+//! sparse one. That is precisely the inter-relationship signal HybridGNN's
+//! randomized exploration is designed to exploit (and what the paper's
+//! Table VII uplift experiment measures), so the generators preserve the
+//! property the headline results depend on.
+
+use rand::Rng;
+
+use mhg_graph::NodeId;
+use mhg_sampling::AliasTable;
+
+/// Community assignment for a set of nodes.
+#[derive(Clone, Debug)]
+pub struct Communities {
+    /// `membership[i]` = community of node `nodes[i]` (group-local index).
+    membership: Vec<u16>,
+    num_communities: usize,
+}
+
+impl Communities {
+    /// Assigns `n` nodes to `k` communities uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > u16::MAX`.
+    pub fn random<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k > 0 && k <= u16::MAX as usize, "bad community count {k}");
+        let membership = (0..n).map(|_| rng.gen_range(0..k) as u16).collect();
+        Self {
+            membership,
+            num_communities: k,
+        }
+    }
+
+    /// Wraps an explicit membership vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any membership exceeds `k` or `k == 0`.
+    pub fn from_membership(membership: Vec<u16>, k: usize) -> Self {
+        assert!(k > 0, "need at least one community");
+        assert!(
+            membership.iter().all(|&m| (m as usize) < k),
+            "membership out of range"
+        );
+        Self {
+            membership,
+            num_communities: k,
+        }
+    }
+
+    /// Number of communities.
+    pub fn num_communities(&self) -> usize {
+        self.num_communities
+    }
+
+    /// Community of local node index `i`.
+    pub fn of(&self, i: usize) -> u16 {
+        self.membership[i]
+    }
+
+    /// Number of assigned nodes.
+    pub fn len(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Whether no nodes are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.membership.is_empty()
+    }
+}
+
+/// Heavy-tailed activity weights: `w_i = (rank_i + 1)^(-alpha)`, with ranks
+/// shuffled so activity is independent of node id.
+pub fn zipf_activity<R: Rng + ?Sized>(n: usize, alpha: f32, rng: &mut R) -> Vec<f32> {
+    use rand::seq::SliceRandom;
+    let mut ranks: Vec<usize> = (0..n).collect();
+    ranks.shuffle(rng);
+    ranks
+        .into_iter()
+        .map(|r| ((r + 1) as f32).powf(-alpha))
+        .collect()
+}
+
+/// One side of an edge-sampling group: a node list with per-community alias
+/// tables over activity weights.
+struct Side {
+    nodes: Vec<NodeId>,
+    /// Per community: (alias over member positions, member positions).
+    by_community: Vec<Option<(AliasTable, Vec<u32>)>>,
+    /// Alias over the whole group (for the noise branch).
+    all: AliasTable,
+}
+
+impl Side {
+    fn new(nodes: Vec<NodeId>, comms: &Communities, activity: &[f32]) -> Self {
+        assert_eq!(nodes.len(), comms.len());
+        assert_eq!(nodes.len(), activity.len());
+        let k = comms.num_communities();
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for i in 0..nodes.len() {
+            members[comms.of(i) as usize].push(i as u32);
+        }
+        let by_community = members
+            .into_iter()
+            .map(|m| {
+                if m.is_empty() {
+                    None
+                } else {
+                    let w: Vec<f32> = m.iter().map(|&i| activity[i as usize]).collect();
+                    Some((AliasTable::new(&w), m))
+                }
+            })
+            .collect();
+        let all = AliasTable::new(activity);
+        Self {
+            nodes,
+            by_community,
+            all,
+        }
+    }
+
+    fn sample_in_community<R: Rng + ?Sized>(&self, c: usize, rng: &mut R) -> Option<NodeId> {
+        let (table, members) = self.by_community[c].as_ref()?;
+        let pos = members[table.sample(rng)];
+        Some(self.nodes[pos as usize])
+    }
+
+    fn sample_any<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        self.nodes[self.all.sample(rng)]
+    }
+}
+
+/// Samples planted-community edges between two node groups (which may be the
+/// same group for unipartite relations).
+pub struct EdgeSampler {
+    left: Side,
+    right: Side,
+    community_weights: AliasTable,
+    noise: f32,
+}
+
+impl EdgeSampler {
+    /// Creates a sampler.
+    ///
+    /// * `left` / `right` — node groups for the two endpoints. For a
+    ///   unipartite relation pass the same list twice.
+    /// * `left_comms` / `right_comms` — community assignments (must share
+    ///   `num_communities`).
+    /// * `noise` — probability that the right endpoint ignores the
+    ///   community (uniform random), in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched community counts, empty groups, or `noise`
+    /// outside `[0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: Vec<NodeId>,
+        left_comms: &Communities,
+        left_activity: &[f32],
+        right: Vec<NodeId>,
+        right_comms: &Communities,
+        right_activity: &[f32],
+        noise: f32,
+    ) -> Self {
+        assert!(!left.is_empty() && !right.is_empty(), "empty endpoint group");
+        assert_eq!(
+            left_comms.num_communities(),
+            right_comms.num_communities(),
+            "community spaces must match"
+        );
+        assert!((0.0..=1.0).contains(&noise), "noise out of range");
+
+        let k = left_comms.num_communities();
+        let left_side = Side::new(left, left_comms, left_activity);
+        let right_side = Side::new(right, right_comms, right_activity);
+
+        // A community is sampleable when both sides have members; weight by
+        // the smaller side so tiny communities don't dominate.
+        let weights: Vec<f32> = (0..k)
+            .map(|c| {
+                let l = left_side.by_community[c]
+                    .as_ref()
+                    .map_or(0, |(_, m)| m.len());
+                let r = right_side.by_community[c]
+                    .as_ref()
+                    .map_or(0, |(_, m)| m.len());
+                if l == 0 || r == 0 {
+                    0.0
+                } else {
+                    (l.min(r)) as f32
+                }
+            })
+            .collect();
+        assert!(
+            weights.iter().any(|&w| w > 0.0),
+            "no community populated on both sides"
+        );
+
+        Self {
+            left: left_side,
+            right: right_side,
+            community_weights: AliasTable::new(&weights),
+            noise,
+        }
+    }
+
+    /// Draws one candidate edge (may be a duplicate or self-pair; the graph
+    /// builder deduplicates and the caller filters self-pairs).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (NodeId, NodeId) {
+        let c = self.community_weights.sample(rng);
+        let u = self
+            .left
+            .sample_in_community(c, rng)
+            .unwrap_or_else(|| self.left.sample_any(rng));
+        let v = if rng.gen::<f32>() < self.noise {
+            self.right.sample_any(rng)
+        } else {
+            self.right
+                .sample_in_community(c, rng)
+                .unwrap_or_else(|| self.right.sample_any(rng))
+        };
+        (u, v)
+    }
+
+    /// Draws approximately `count` *distinct* non-self edges (bounded
+    /// attempts: gives up after `8 × count` draws, so saturated graphs don't
+    /// loop forever).
+    pub fn sample_edges<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<(NodeId, NodeId)> {
+        let mut seen = std::collections::HashSet::with_capacity(count * 2);
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        let max_attempts = count.saturating_mul(8).max(64);
+        while out.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let (u, v) = self.sample(rng);
+            if u == v {
+                continue;
+            }
+            let key = if u <= v { (u.0, v.0) } else { (v.0, u.0) };
+            if seen.insert(key) {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    #[test]
+    fn communities_cover_all_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Communities::random(100, 7, &mut rng);
+        assert_eq!(c.len(), 100);
+        assert!((0..100).all(|i| (c.of(i) as usize) < 7));
+    }
+
+    #[test]
+    fn zipf_is_decreasing_in_rank() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = zipf_activity(50, 0.8, &mut rng);
+        assert_eq!(w.len(), 50);
+        let mut sorted = w.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Max weight is rank 0: 1.0; min is 50^-0.8.
+        assert!((sorted[0] - 1.0).abs() < 1e-6);
+        assert!(sorted[49] < 0.1);
+    }
+
+    #[test]
+    fn zero_noise_keeps_edges_within_communities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let nodes = ids(0..60);
+        let comms = Communities::random(60, 4, &mut rng);
+        let act = zipf_activity(60, 0.5, &mut rng);
+        let sampler = EdgeSampler::new(
+            nodes.clone(),
+            &comms,
+            &act,
+            nodes,
+            &comms,
+            &act,
+            0.0,
+        );
+        for _ in 0..500 {
+            let (u, v) = sampler.sample(&mut rng);
+            assert_eq!(
+                comms.of(u.index()),
+                comms.of(v.index()),
+                "cross-community edge at noise 0"
+            );
+        }
+    }
+
+    #[test]
+    fn full_noise_crosses_communities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let nodes = ids(0..60);
+        let comms = Communities::random(60, 4, &mut rng);
+        let act = vec![1.0; 60];
+        let sampler = EdgeSampler::new(
+            nodes.clone(),
+            &comms,
+            &act,
+            nodes,
+            &comms,
+            &act,
+            1.0,
+        );
+        let crossings = (0..1000)
+            .filter(|_| {
+                let (u, v) = sampler.sample(&mut rng);
+                comms.of(u.index()) != comms.of(v.index())
+            })
+            .count();
+        // With 4 equal communities, random pairs cross ~75% of the time.
+        assert!(crossings > 500, "crossings {crossings}");
+    }
+
+    #[test]
+    fn sample_edges_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nodes = ids(0..20);
+        let comms = Communities::random(20, 2, &mut rng);
+        let act = vec![1.0; 20];
+        let sampler = EdgeSampler::new(
+            nodes.clone(),
+            &comms,
+            &act,
+            nodes,
+            &comms,
+            &act,
+            0.3,
+        );
+        let edges = sampler.sample_edges(50, &mut rng);
+        let mut keys: Vec<_> = edges
+            .iter()
+            .map(|&(u, v)| if u <= v { (u, v) } else { (v, u) })
+            .collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "duplicates returned");
+        assert!(edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn saturated_request_terminates() {
+        // 4 nodes → at most 6 undirected pairs; asking for 100 must not hang.
+        let mut rng = StdRng::seed_from_u64(6);
+        let nodes = ids(0..4);
+        let comms = Communities::random(4, 1, &mut rng);
+        let act = vec![1.0; 4];
+        let sampler = EdgeSampler::new(
+            nodes.clone(),
+            &comms,
+            &act,
+            nodes,
+            &comms,
+            &act,
+            0.0,
+        );
+        let edges = sampler.sample_edges(100, &mut rng);
+        assert!(edges.len() <= 6);
+    }
+
+    #[test]
+    fn bipartite_sampling_respects_sides() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let users = ids(0..30);
+        let items = ids(30..50);
+        let uc = Communities::random(30, 3, &mut rng);
+        let ic = Communities::random(20, 3, &mut rng);
+        let ua = vec![1.0; 30];
+        let ia = vec![1.0; 20];
+        let sampler = EdgeSampler::new(users, &uc, &ua, items, &ic, &ia, 0.2);
+        for _ in 0..300 {
+            let (u, v) = sampler.sample(&mut rng);
+            assert!(u.0 < 30 && (30..50).contains(&v.0));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the dataset generators and the edge splitter.
+
+use mhg_datasets::{DatasetKind, EdgeSplit, SplitConfig};
+use proptest::prelude::*;
+
+fn kind() -> impl Strategy<Value = DatasetKind> {
+    prop_oneof![
+        Just(DatasetKind::Amazon),
+        Just(DatasetKind::YouTube),
+        Just(DatasetKind::Imdb),
+        Just(DatasetKind::Taobao),
+        Just(DatasetKind::Kuaishou),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generation_is_deterministic(k in kind(), seed in 0u64..50) {
+        let a = k.generate(0.005, seed);
+        let b = k.generate(0.005, seed);
+        prop_assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+        prop_assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for v in a.graph.nodes() {
+            prop_assert_eq!(a.graph.total_degree(v), b.graph.total_degree(v));
+        }
+    }
+
+    #[test]
+    fn scaling_grows_graphs(k in kind(), seed in 0u64..20) {
+        let small = k.generate(0.004, seed);
+        let large = k.generate(0.02, seed);
+        prop_assert!(large.graph.num_nodes() > small.graph.num_nodes());
+        prop_assert!(large.graph.num_edges() >= small.graph.num_edges());
+    }
+
+    #[test]
+    fn shapes_valid_for_schema(k in kind(), seed in 0u64..20) {
+        let d = k.generate(0.005, seed);
+        for shape in &d.metapath_shapes {
+            prop_assert!(shape.len() >= 3, "shape too short");
+            for &t in shape {
+                prop_assert!(t.index() < d.graph.schema().num_node_types());
+            }
+        }
+        // Every instantiated scheme must validate against the schema.
+        for (_, scheme) in d.all_schemes() {
+            prop_assert!(scheme.validate(d.graph.schema()).is_ok());
+            prop_assert!(scheme.is_intra_relationship());
+        }
+    }
+
+    #[test]
+    fn split_partitions_edges(k in kind(), seed in 0u64..20) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = k.generate(0.008, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = EdgeSplit::default_split(&d.graph, &mut rng);
+        let train = split.train_graph.num_edges();
+        let val_pos = split.val.iter().filter(|e| e.label).count();
+        let test_pos = split.test.iter().filter(|e| e.label).count();
+        prop_assert_eq!(train + val_pos + test_pos, d.graph.num_edges());
+        // No evaluation positive leaks into the training graph.
+        for e in split.val.iter().chain(&split.test).filter(|e| e.label) {
+            prop_assert!(!split.train_graph.has_edge(e.u, e.v, e.relation));
+        }
+    }
+
+    #[test]
+    fn custom_split_fractions(k in kind(), frac in 0.5f64..0.9) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = k.generate(0.008, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let split = EdgeSplit::new(
+            &d.graph,
+            SplitConfig { train_frac: frac, val_frac: 0.05 },
+            &mut rng,
+        );
+        let total = d.graph.num_edges() as f64;
+        let train = split.train_graph.num_edges() as f64;
+        // Per-relation rounding allows small drift.
+        prop_assert!((train / total - frac).abs() < 0.1, "train frac {}", train / total);
+    }
+}

@@ -1,0 +1,211 @@
+//! Binary-classification metrics: ROC-AUC, PR-AUC, F1.
+
+/// ROC-AUC via the rank-sum (Mann–Whitney) formulation with midranks for
+/// tied scores.
+///
+/// Returns 0.5 when either class is empty (no ranking information).
+///
+/// # Panics
+///
+/// Panics if `scores.len() != labels.len()`.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+
+    // Sort indices by score ascending; assign midranks to ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based: positions i..=j share midrank.
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+
+    let n_pos_f = n_pos as f64;
+    let n_neg_f = n_neg as f64;
+    (rank_sum_pos - n_pos_f * (n_pos_f + 1.0) / 2.0) / (n_pos_f * n_neg_f)
+}
+
+/// Area under the precision-recall curve (trapezoidal over distinct score
+/// thresholds, anchored at recall 0 with the first precision value).
+///
+/// Returns the positive prevalence when either class is empty.
+///
+/// # Panics
+///
+/// Panics if `scores.len() != labels.len()`.
+pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    if n_pos == labels.len() {
+        return 1.0;
+    }
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut auc = 0.0f64;
+    let mut prev_recall = 0.0f64;
+    let mut prev_precision = 1.0f64;
+
+    let mut i = 0;
+    while i < order.len() {
+        // Consume a tie-group at once so ties don't inflate the curve.
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        let recall = tp as f64 / n_pos as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        auc += (recall - prev_recall) * (precision + prev_precision) / 2.0;
+        prev_recall = recall;
+        prev_precision = precision;
+        i = j + 1;
+    }
+    auc
+}
+
+/// F1 at a fixed decision threshold (`score >= threshold` predicts
+/// positive).
+pub fn f1_at(scores: &[f32], labels: &[bool], threshold: f32) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (&s, &l) in scores.iter().zip(labels) {
+        let pred = s >= threshold;
+        match (pred, l) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fn_) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// The threshold (drawn from the observed scores) maximising F1, with the
+/// achieved F1. Use validation scores to select, test scores to report.
+pub fn best_f1_threshold(scores: &[f32], labels: &[bool]) -> (f32, f64) {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let mut candidates: Vec<f32> = scores.to_vec();
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    candidates.dedup();
+    let mut best = (0.0f32, 0.0f64);
+    for &t in &candidates {
+        let f1 = f1_at(scores, labels, t);
+        if f1 > best.1 {
+            best = (t, f1);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+        assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_ranking_is_half() {
+        // All scores tied → AUC must be exactly 0.5 via midranks.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_auc_value() {
+        // scores: pos {3, 1}, neg {2, 0}: pairs (3>2),(3>0),(1<2),(1>0) → 3/4.
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(pr_auc(&[1.0, 2.0], &[false, false]), 0.0);
+        assert_eq!(pr_auc(&[1.0, 2.0], &[true, true]), 1.0);
+    }
+
+    #[test]
+    fn f1_known_value() {
+        // threshold 0.5: preds [T,T,F], labels [T,F,T] → tp=1, fp=1, fn=1 →
+        // precision 0.5, recall 0.5, F1 0.5.
+        let scores = [0.9, 0.6, 0.3];
+        let labels = [true, false, true];
+        assert!((f1_at(&scores, &labels, 0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_threshold_beats_fixed() {
+        let scores = [0.9, 0.8, 0.75, 0.2, 0.1];
+        let labels = [true, true, true, false, false];
+        let (t, f1) = best_f1_threshold(&scores, &labels);
+        assert!((f1 - 1.0).abs() < 1e-9, "best f1 {f1} at {t}");
+        assert!(t > 0.2 && t <= 0.75);
+    }
+
+    #[test]
+    fn f1_zero_when_no_tp() {
+        let scores = [0.1, 0.2];
+        let labels = [true, true];
+        assert_eq!(f1_at(&scores, &labels, 0.9), 0.0);
+    }
+
+    #[test]
+    fn pr_auc_better_than_prevalence_for_good_ranker() {
+        let scores = [0.9, 0.7, 0.6, 0.4, 0.3, 0.2, 0.15, 0.1];
+        let labels = [true, true, false, true, false, false, false, false];
+        let auc = pr_auc(&scores, &labels);
+        assert!(auc > 3.0 / 8.0, "pr-auc {auc}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Node-degree clustering for the paper's case study (Fig. 5, Table IX):
+//! recommendation quality as a function of node degree.
+
+use mhg_graph::{MultiplexGraph, NodeId};
+
+/// A half-open degree bucket `[lo, hi)` with its member nodes.
+#[derive(Clone, Debug)]
+pub struct DegreeBucket {
+    /// Inclusive lower degree bound.
+    pub lo: usize,
+    /// Exclusive upper degree bound.
+    pub hi: usize,
+    /// Nodes whose total degree falls in `[lo, hi)`.
+    pub nodes: Vec<NodeId>,
+}
+
+impl DegreeBucket {
+    /// Human-readable label, e.g. `"1≤d<20"`.
+    pub fn label(&self) -> String {
+        format!("{}≤d<{}", self.lo, self.hi)
+    }
+}
+
+/// Splits `nodes` into `n_buckets` equal-width degree ranges over
+/// `[min_degree, max_degree]` (total degree across relations), mirroring the
+/// paper's Table IX ranges. Nodes with zero degree are dropped.
+///
+/// # Panics
+///
+/// Panics if `n_buckets == 0`.
+pub fn degree_buckets(
+    graph: &MultiplexGraph,
+    nodes: &[NodeId],
+    n_buckets: usize,
+) -> Vec<DegreeBucket> {
+    assert!(n_buckets > 0, "need at least one bucket");
+    let degrees: Vec<(NodeId, usize)> = nodes
+        .iter()
+        .map(|&v| (v, graph.total_degree(v)))
+        .filter(|&(_, d)| d > 0)
+        .collect();
+    if degrees.is_empty() {
+        return Vec::new();
+    }
+    let min_d = degrees.iter().map(|&(_, d)| d).min().unwrap();
+    let max_d = degrees.iter().map(|&(_, d)| d).max().unwrap();
+    let width = ((max_d - min_d + 1) as f64 / n_buckets as f64).ceil() as usize;
+    let width = width.max(1);
+
+    let mut buckets: Vec<DegreeBucket> = (0..n_buckets)
+        .map(|i| DegreeBucket {
+            lo: min_d + i * width,
+            hi: min_d + (i + 1) * width,
+            nodes: Vec::new(),
+        })
+        .collect();
+    for (v, d) in degrees {
+        let idx = ((d - min_d) / width).min(n_buckets - 1);
+        buckets[idx].nodes.push(v);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhg_graph::{GraphBuilder, Schema};
+
+    /// A star graph: center has degree n-1, leaves degree 1.
+    fn star(n: usize) -> MultiplexGraph {
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        let r = schema.add_relation("r");
+        let mut b = GraphBuilder::new(schema);
+        let center = b.add_node(t);
+        for _ in 1..n {
+            let leaf = b.add_node(t);
+            b.add_edge(center, leaf, r);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn star_splits_center_from_leaves() {
+        let g = star(20);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let buckets = degree_buckets(&g, &nodes, 4);
+        assert_eq!(buckets.len(), 4);
+        // Leaves (degree 1) in the first bucket, center (19) in the last.
+        assert_eq!(buckets[0].nodes.len(), 19);
+        assert_eq!(buckets[3].nodes.len(), 1);
+        assert_eq!(buckets[3].nodes[0], NodeId(0));
+    }
+
+    #[test]
+    fn buckets_cover_all_nonzero_nodes() {
+        let g = star(15);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let buckets = degree_buckets(&g, &nodes, 3);
+        let covered: usize = buckets.iter().map(|b| b.nodes.len()).sum();
+        assert_eq!(covered, 15); // all nodes have degree > 0 in a star
+    }
+
+    #[test]
+    fn zero_degree_dropped() {
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        schema.add_relation("r");
+        let mut b = GraphBuilder::new(schema);
+        b.add_node(t);
+        let g = b.build();
+        let buckets = degree_buckets(&g, &[NodeId(0)], 2);
+        assert!(buckets.is_empty());
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let g = star(10);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let buckets = degree_buckets(&g, &nodes, 2);
+        assert!(buckets[0].label().contains("≤d<"));
+    }
+
+    #[test]
+    fn uniform_degrees_land_in_first_bucket() {
+        // A cycle: every node degree 2 → everything in bucket 0.
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        let r = schema.add_relation("r");
+        let mut b = GraphBuilder::new(schema);
+        let ids: Vec<_> = (0..6).map(|_| b.add_node(t)).collect();
+        for i in 0..6 {
+            b.add_edge(ids[i], ids[(i + 1) % 6], r);
+        }
+        let g = b.build();
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let buckets = degree_buckets(&g, &nodes, 3);
+        assert_eq!(buckets[0].nodes.len(), 6);
+        assert!(buckets[1].nodes.is_empty());
+    }
+}

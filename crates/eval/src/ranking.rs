@@ -1,0 +1,235 @@
+//! Top-K recommendation metrics: PR@K (precision) and HR@K (hit ratio).
+//!
+//! The paper reports, for each node in the test set, the precision and hit
+//! ratio of its top-K ranked candidates (K = 10). A query is one source
+//! node; its candidates are every type-compatible target; relevants are its
+//! held-out test edges.
+
+/// One ranking query: the relevance flags of the candidate list sorted by
+/// **descending** model score, plus the total number of relevant items.
+#[derive(Clone, Debug)]
+pub struct RankedQuery {
+    /// `ranked[i]` is `true` iff the i-th highest-scored candidate is a
+    /// held-out positive.
+    pub ranked: Vec<bool>,
+    /// Total number of relevant items for this query (may exceed
+    /// `ranked.iter().filter(|x| **x).count()` if the candidate list was
+    /// truncated).
+    pub num_relevant: usize,
+}
+
+impl RankedQuery {
+    /// Hits within the top K.
+    pub fn hits_at(&self, k: usize) -> usize {
+        self.ranked.iter().take(k).filter(|&&r| r).count()
+    }
+
+    /// Precision@K = hits / K.
+    pub fn precision_at(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        self.hits_at(k) as f64 / k as f64
+    }
+
+    /// Hit-ratio@K (a.k.a. recall@K) = hits / #relevant.
+    pub fn hit_ratio_at(&self, k: usize) -> f64 {
+        if self.num_relevant == 0 {
+            return 0.0;
+        }
+        self.hits_at(k) as f64 / self.num_relevant as f64
+    }
+
+    /// Normalised discounted cumulative gain at K (binary relevance).
+    ///
+    /// Not reported by the paper — provided for downstream users; the
+    /// harness exposes it alongside PR@K/HR@K.
+    pub fn ndcg_at(&self, k: usize) -> f64 {
+        if self.num_relevant == 0 || k == 0 {
+            return 0.0;
+        }
+        let dcg: f64 = self
+            .ranked
+            .iter()
+            .take(k)
+            .enumerate()
+            .filter(|(_, &rel)| rel)
+            .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+            .sum();
+        let ideal: f64 = (0..self.num_relevant.min(k))
+            .map(|i| 1.0 / ((i + 2) as f64).log2())
+            .sum();
+        dcg / ideal
+    }
+
+    /// Reciprocal rank of the first relevant item (0 when none appear).
+    pub fn reciprocal_rank(&self) -> f64 {
+        self.ranked
+            .iter()
+            .position(|&rel| rel)
+            .map_or(0.0, |i| 1.0 / (i + 1) as f64)
+    }
+}
+
+/// Aggregate top-K metrics over a set of queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TopKMetrics {
+    /// Mean precision@K over queries.
+    pub precision: f64,
+    /// Mean hit-ratio@K over queries.
+    pub hit_ratio: f64,
+    /// Mean NDCG@K over queries (extension metric, not in the paper).
+    pub ndcg: f64,
+    /// Mean reciprocal rank over queries (extension metric).
+    pub mrr: f64,
+    /// Number of queries aggregated.
+    pub num_queries: usize,
+}
+
+/// Computes mean PR@K and HR@K over queries (queries with zero relevants are
+/// skipped, matching the paper's per-test-node averaging).
+pub fn topk_metrics(queries: &[RankedQuery], k: usize) -> TopKMetrics {
+    let valid: Vec<&RankedQuery> = queries.iter().filter(|q| q.num_relevant > 0).collect();
+    if valid.is_empty() {
+        return TopKMetrics::default();
+    }
+    let n = valid.len() as f64;
+    TopKMetrics {
+        precision: valid.iter().map(|q| q.precision_at(k)).sum::<f64>() / n,
+        hit_ratio: valid.iter().map(|q| q.hit_ratio_at(k)).sum::<f64>() / n,
+        ndcg: valid.iter().map(|q| q.ndcg_at(k)).sum::<f64>() / n,
+        mrr: valid.iter().map(|q| q.reciprocal_rank()).sum::<f64>() / n,
+        num_queries: valid.len(),
+    }
+}
+
+/// Builds a [`RankedQuery`] from unsorted `(score, relevant)` candidate
+/// pairs.
+pub fn rank_candidates(mut candidates: Vec<(f32, bool)>, num_relevant: usize) -> RankedQuery {
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+    RankedQuery {
+        ranked: candidates.into_iter().map(|(_, r)| r).collect(),
+        num_relevant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_query() {
+        let q = RankedQuery {
+            ranked: vec![true, true, false, false],
+            num_relevant: 2,
+        };
+        assert_eq!(q.hits_at(2), 2);
+        assert!((q.precision_at(2) - 1.0).abs() < 1e-12);
+        assert!((q.hit_ratio_at(2) - 1.0).abs() < 1e-12);
+        assert!((q.precision_at(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_list() {
+        let q = RankedQuery {
+            ranked: vec![true],
+            num_relevant: 3,
+        };
+        assert_eq!(q.hits_at(10), 1);
+        assert!((q.precision_at(10) - 0.1).abs() < 1e-12);
+        assert!((q.hit_ratio_at(10) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_skips_empty_queries() {
+        let queries = vec![
+            RankedQuery {
+                ranked: vec![true, false],
+                num_relevant: 1,
+            },
+            RankedQuery {
+                ranked: vec![false, false],
+                num_relevant: 0, // skipped
+            },
+        ];
+        let m = topk_metrics(&queries, 2);
+        assert_eq!(m.num_queries, 1);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.hit_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let q = rank_candidates(
+            vec![(0.1, false), (0.9, true), (0.5, false), (0.7, true)],
+            2,
+        );
+        assert_eq!(q.ranked, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        // HR@K is non-decreasing in K; hits@K non-decreasing.
+        let q = RankedQuery {
+            ranked: vec![false, true, false, true, true],
+            num_relevant: 4,
+        };
+        let mut prev = 0.0;
+        for k in 1..=5 {
+            let hr = q.hit_ratio_at(k);
+            assert!(hr >= prev);
+            prev = hr;
+        }
+    }
+
+    #[test]
+    fn ndcg_perfect_and_worst() {
+        // Perfect ranking: NDCG@K = 1.
+        let perfect = RankedQuery {
+            ranked: vec![true, true, false, false],
+            num_relevant: 2,
+        };
+        assert!((perfect.ndcg_at(4) - 1.0).abs() < 1e-12);
+        // All relevants at the bottom: strictly less than 1, more than 0.
+        let worst = RankedQuery {
+            ranked: vec![false, false, true, true],
+            num_relevant: 2,
+        };
+        let v = worst.ndcg_at(4);
+        assert!(v > 0.0 && v < 1.0, "{v}");
+        // No relevant in top-K at all.
+        assert_eq!(worst.ndcg_at(2), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_values() {
+        let q = RankedQuery {
+            ranked: vec![false, false, true],
+            num_relevant: 1,
+        };
+        assert!((q.reciprocal_rank() - 1.0 / 3.0).abs() < 1e-12);
+        let none = RankedQuery {
+            ranked: vec![false, false],
+            num_relevant: 1,
+        };
+        assert_eq!(none.reciprocal_rank(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_includes_extension_metrics() {
+        let q = RankedQuery {
+            ranked: vec![true, false],
+            num_relevant: 1,
+        };
+        let m = topk_metrics(&[q], 2);
+        assert!((m.ndcg - 1.0).abs() < 1e-12);
+        assert!((m.mrr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = topk_metrics(&[], 10);
+        assert_eq!(m.num_queries, 0);
+        assert_eq!(m.precision, 0.0);
+    }
+}

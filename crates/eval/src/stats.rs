@@ -1,0 +1,244 @@
+//! Statistical utilities: sample moments and Welch's t-test.
+//!
+//! The paper reports significance at `p < 0.01` under a t-test against the
+//! runner-up baseline; [`welch_t_test`] reproduces that check across
+//! repeated training runs.
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n − 1 denominator); 0 for fewer than 2 points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Result of a Welch two-sample t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTest {
+    /// The t statistic (positive when `mean(a) > mean(b)`).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p_two_tailed: f64,
+}
+
+/// Welch's unequal-variance t-test between two samples.
+///
+/// Returns `None` when either sample has fewer than two points or both
+/// variances are zero with equal means (no evidence either way).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        // Identical constant samples: means equal ⇒ p = 1; otherwise the
+        // difference is deterministic ⇒ p = 0.
+        return Some(TTest {
+            t: if ma == mb { 0.0 } else { f64::INFINITY },
+            df: na + nb - 2.0,
+            p_two_tailed: if ma == mb { 1.0 } else { 0.0 },
+        });
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2.powi(2)
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Some(TTest {
+        t,
+        df,
+        p_two_tailed: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Survival function `P(T > t)` of Student's t with `df` degrees of freedom,
+/// via the regularised incomplete beta function.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta(df / 2.0, 0.5, x)
+}
+
+/// Regularised incomplete beta `I_x(a, b)` by the Lentz continued fraction
+/// (Numerical Recipes style).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-12;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos log-gamma.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 7] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+        2.5066282746310005, // sqrt(2π)
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for g in &G[..6] {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (G[6] * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5)=√π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_sf_reference_values() {
+        // df = 10: P(T > 2.228) ≈ 0.025 (classic 95% two-tail quantile).
+        let p = student_t_sf(2.228, 10.0);
+        assert!((p - 0.025).abs() < 1e-3, "p {p}");
+        // df = 1 (Cauchy): P(T > 1) = 0.25.
+        let p = student_t_sf(1.0, 1.0);
+        assert!((p - 0.25).abs() < 1e-3, "p {p}");
+    }
+
+    #[test]
+    fn clearly_different_samples() {
+        let a = [10.0, 10.1, 9.9, 10.05, 9.95];
+        let b = [5.0, 5.2, 4.8, 5.1, 4.9];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p_two_tailed < 0.01, "p {}", r.p_two_tailed);
+        assert!(r.t > 0.0);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&a, &a).unwrap();
+        assert!(r.p_two_tailed > 0.95, "p {}", r.p_two_tailed);
+        assert!(r.t.abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_samples() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [3.0, 3.0, 3.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert_eq!(r.p_two_tailed, 0.0);
+        let r2 = welch_t_test(&a, &a).unwrap();
+        assert_eq!(r2.p_two_tailed, 1.0);
+    }
+
+    #[test]
+    fn small_samples_rejected() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [3.0, 3.5, 2.9, 3.2];
+        let b = [2.0, 2.4, 2.2, 1.9];
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r1.p_two_tailed - r2.p_two_tailed).abs() < 1e-12);
+        assert!((r1.t + r2.t).abs() < 1e-12);
+    }
+}

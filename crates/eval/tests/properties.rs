@@ -1,0 +1,107 @@
+//! Property-based invariants for the metric implementations.
+
+use mhg_eval::{best_f1_threshold, f1_at, pr_auc, roc_auc, topk_metrics, RankedQuery};
+use proptest::prelude::*;
+
+fn scored_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    proptest::collection::vec(((-10.0f32..10.0), any::<bool>()), 2..60).prop_map(|pairs| {
+        let (scores, labels): (Vec<f32>, Vec<bool>) = pairs.into_iter().unzip();
+        (scores, labels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn roc_auc_in_unit_interval((scores, labels) in scored_labels()) {
+        let auc = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn roc_auc_complement_under_label_flip((scores, labels) in scored_labels()) {
+        let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
+        prop_assume!(has_both);
+        let auc = roc_auc(&scores, &labels);
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let auc_f = roc_auc(&scores, &flipped);
+        prop_assert!((auc + auc_f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roc_auc_invariant_to_monotone_transform((scores, labels) in scored_labels()) {
+        // Positive-affine transform: strictly monotone and tie-preserving
+        // in f32 (tanh-style squashing would merge distinct scores).
+        let transformed: Vec<f32> = scores.iter().map(|s| s * 0.5 + 1.0).collect();
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pr_auc_in_unit_interval((scores, labels) in scored_labels()) {
+        let auc = pr_auc(&scores, &labels);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&auc));
+    }
+
+    #[test]
+    fn pr_auc_at_least_prevalence_for_perfect_ranker(n_pos in 1usize..20, n_neg in 1usize..20) {
+        // Perfect ranker: positives strictly above negatives.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_pos {
+            scores.push(10.0 + i as f32);
+            labels.push(true);
+        }
+        for i in 0..n_neg {
+            scores.push(-(i as f32) - 1.0);
+            labels.push(false);
+        }
+        prop_assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+        prop_assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_bounded((scores, labels) in scored_labels(), t in -10.0f32..10.0) {
+        let f1 = f1_at(&scores, &labels, t);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn best_f1_dominates_arbitrary_threshold((scores, labels) in scored_labels(), t in -10.0f32..10.0) {
+        let (_, best) = best_f1_threshold(&scores, &labels);
+        prop_assert!(best + 1e-9 >= f1_at(&scores, &labels, t));
+    }
+
+    #[test]
+    fn topk_bounded(flags in proptest::collection::vec(any::<bool>(), 0..30), k in 1usize..15) {
+        let relevant = flags.iter().filter(|&&f| f).count();
+        let q = RankedQuery { ranked: flags, num_relevant: relevant };
+        let m = topk_metrics(&[q], k);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.hit_ratio));
+    }
+
+    #[test]
+    fn ndcg_and_mrr_bounded(flags in proptest::collection::vec(any::<bool>(), 1..30), k in 1usize..15) {
+        let relevant = flags.iter().filter(|&&f| f).count();
+        prop_assume!(relevant > 0);
+        let q = RankedQuery { ranked: flags, num_relevant: relevant };
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&q.ndcg_at(k)));
+        prop_assert!((0.0..=1.0).contains(&q.reciprocal_rank()));
+    }
+
+    #[test]
+    fn hit_ratio_monotone_in_k(flags in proptest::collection::vec(any::<bool>(), 1..30)) {
+        let relevant = flags.iter().filter(|&&f| f).count();
+        prop_assume!(relevant > 0);
+        let q = RankedQuery { ranked: flags.clone(), num_relevant: relevant };
+        let mut prev = 0.0;
+        for k in 1..=flags.len() {
+            let hr = q.hit_ratio_at(k);
+            prop_assert!(hr + 1e-12 >= prev);
+            prev = hr;
+        }
+        // At K = list length all hits are counted.
+        prop_assert!((prev - 1.0).abs() < 1e-12);
+    }
+}

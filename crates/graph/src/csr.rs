@@ -1,0 +1,161 @@
+//! Compressed sparse row adjacency.
+
+use crate::NodeId;
+
+/// CSR adjacency for one relation-specific subgraph.
+///
+/// Neighbor lists are sorted, enabling O(log d) membership tests via binary
+/// search. Edges are undirected: both directions are stored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an (unsorted, possibly duplicated) directed edge
+    /// list over `num_nodes` nodes. Duplicates are removed.
+    pub fn from_directed_edges(num_nodes: usize, edges: &mut Vec<(NodeId, NodeId)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut offsets = vec![0u32; num_nodes + 1];
+        for &(u, _) in edges.iter() {
+            offsets[u.index() + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = edges.iter().map(|&(_, v)| v).collect();
+        Self { offsets, targets }
+    }
+
+    /// An empty CSR over `num_nodes` nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        Self {
+            offsets: vec![0; num_nodes + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let (s, e) = (
+            self.offsets[v.index()] as usize,
+            self.offsets[v.index() + 1] as usize,
+        );
+        &self.targets[s..e]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Whether the directed edge `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Number of stored (directed) edges.
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of nodes the CSR was built over.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Iterates over all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            let u = NodeId(u as u32);
+            self.neighbors(u).iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Raw offsets (for persistence).
+    pub(crate) fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Raw targets (for persistence).
+    pub(crate) fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Reassembles from raw parts (for persistence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotone or don't cover `targets`.
+    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            targets.len(),
+            "offsets must cover targets"
+        );
+        Self { offsets, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut edges = vec![(n(0), n(1)), (n(1), n(0)), (n(0), n(2)), (n(2), n(0))];
+        let csr = Csr::from_directed_edges(3, &mut edges);
+        assert_eq!(csr.neighbors(n(0)), &[n(1), n(2)]);
+        assert_eq!(csr.degree(n(0)), 2);
+        assert_eq!(csr.degree(n(1)), 1);
+        assert!(csr.has_edge(n(0), n(2)));
+        assert!(!csr.has_edge(n(1), n(2)));
+        assert_eq!(csr.num_directed_edges(), 4);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let mut edges = vec![(n(0), n(1)), (n(0), n(1)), (n(0), n(1))];
+        let csr = Csr::from_directed_edges(2, &mut edges);
+        assert_eq!(csr.num_directed_edges(), 1);
+    }
+
+    #[test]
+    fn empty_nodes_have_no_neighbors() {
+        let csr = Csr::empty(4);
+        for i in 0..4 {
+            assert_eq!(csr.degree(n(i)), 0);
+            assert!(csr.neighbors(n(i)).is_empty());
+        }
+    }
+
+    #[test]
+    fn edge_iteration() {
+        let mut edges = vec![(n(1), n(2)), (n(0), n(1))];
+        let csr = Csr::from_directed_edges(3, &mut edges);
+        let all: Vec<_> = csr.edges().collect();
+        assert_eq!(all, vec![(n(0), n(1)), (n(1), n(2))]);
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let mut edges = vec![(n(0), n(1)), (n(1), n(0))];
+        let csr = Csr::from_directed_edges(2, &mut edges);
+        let rebuilt =
+            Csr::from_parts(csr.offsets().to_vec(), csr.targets().to_vec());
+        assert_eq!(csr, rebuilt);
+    }
+}

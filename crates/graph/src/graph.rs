@@ -1,0 +1,403 @@
+//! The multiplex heterogeneous graph and its builder.
+
+use crate::csr::Csr;
+use crate::schema::Schema;
+use crate::{NodeId, NodeTypeId, RelationId};
+
+/// Incrementally builds a [`MultiplexGraph`].
+///
+/// # Example
+///
+/// ```
+/// use mhg_graph::{GraphBuilder, Schema};
+///
+/// let mut schema = Schema::new();
+/// let user = schema.add_node_type("user");
+/// let video = schema.add_node_type("video");
+/// let like = schema.add_relation("like");
+///
+/// let mut b = GraphBuilder::new(schema);
+/// let u = b.add_node(user);
+/// let v = b.add_node(video);
+/// b.add_edge(u, v, like);
+/// let g = b.build();
+/// assert_eq!(g.num_nodes(), 2);
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+pub struct GraphBuilder {
+    schema: Schema,
+    node_types: Vec<NodeTypeId>,
+    edges: Vec<(NodeId, NodeId, RelationId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder over a fixed schema.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            node_types: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a node of the given type and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not in the schema.
+    pub fn add_node(&mut self, ty: NodeTypeId) -> NodeId {
+        assert!(
+            ty.index() < self.schema.num_node_types(),
+            "unknown node type {ty:?}"
+        );
+        let id = NodeId(self.node_types.len() as u32);
+        self.node_types.push(ty);
+        id
+    }
+
+    /// Adds `count` nodes of the given type, returning the contiguous range.
+    pub fn add_nodes(&mut self, ty: NodeTypeId, count: usize) -> std::ops::Range<u32> {
+        let start = self.node_types.len() as u32;
+        for _ in 0..count {
+            self.add_node(ty);
+        }
+        start..self.node_types.len() as u32
+    }
+
+    /// Adds an undirected edge under relation `r`.
+    ///
+    /// Self-loops are rejected; duplicate edges are deduplicated at build.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown endpoints/relation or a self-loop.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, r: RelationId) {
+        assert!(u != v, "self-loops are not allowed ({u:?})");
+        assert!(
+            u.index() < self.node_types.len() && v.index() < self.node_types.len(),
+            "edge endpoint out of range"
+        );
+        assert!(
+            r.index() < self.schema.num_relations(),
+            "unknown relation {r:?}"
+        );
+        self.edges.push((u, v, r));
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Finalises into an immutable graph.
+    pub fn build(self) -> MultiplexGraph {
+        let num_nodes = self.node_types.len();
+        let num_relations = self.schema.num_relations();
+
+        // Split the edge list per relation, adding both directions.
+        let mut per_rel: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); num_relations];
+        for (u, v, r) in self.edges {
+            per_rel[r.index()].push((u, v));
+            per_rel[r.index()].push((v, u));
+        }
+
+        let adjacency = per_rel
+            .into_iter()
+            .map(|mut edges| Csr::from_directed_edges(num_nodes, &mut edges))
+            .collect();
+
+        let mut nodes_by_type = vec![Vec::new(); self.schema.num_node_types()];
+        for (i, &ty) in self.node_types.iter().enumerate() {
+            nodes_by_type[ty.index()].push(NodeId(i as u32));
+        }
+
+        MultiplexGraph {
+            schema: self.schema,
+            node_types: self.node_types,
+            nodes_by_type,
+            adjacency,
+        }
+    }
+}
+
+/// An immutable multiplex heterogeneous network (paper Def. 2): nodes carry
+/// a type from `O`; each pair of nodes may be connected under multiple
+/// relations from `R`, stored as one undirected CSR per relation.
+#[derive(Clone, Debug)]
+pub struct MultiplexGraph {
+    schema: Schema,
+    node_types: Vec<NodeTypeId>,
+    nodes_by_type: Vec<Vec<NodeId>>,
+    adjacency: Vec<Csr>,
+}
+
+impl MultiplexGraph {
+    /// The graph's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of nodes (`|V|`).
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of undirected edges (`|E|`), summed over relations.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency
+            .iter()
+            .map(|csr| csr.num_directed_edges() / 2)
+            .sum()
+    }
+
+    /// Number of undirected edges under relation `r`.
+    pub fn num_edges_in(&self, r: RelationId) -> usize {
+        self.adjacency[r.index()].num_directed_edges() / 2
+    }
+
+    /// The type of node `v`.
+    #[inline]
+    pub fn node_type(&self, v: NodeId) -> NodeTypeId {
+        self.node_types[v.index()]
+    }
+
+    /// All nodes of type `ty`, in id order.
+    pub fn nodes_of_type(&self, ty: NodeTypeId) -> &[NodeId] {
+        &self.nodes_by_type[ty.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_types.len() as u32).map(NodeId)
+    }
+
+    /// Sorted neighbors of `v` under relation `r` (the paper's `N_r(v)`).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId, r: RelationId) -> &[NodeId] {
+        self.adjacency[r.index()].neighbors(v)
+    }
+
+    /// Degree of `v` under relation `r`.
+    #[inline]
+    pub fn degree(&self, v: NodeId, r: RelationId) -> usize {
+        self.adjacency[r.index()].degree(v)
+    }
+
+    /// Total degree of `v` across all relations.
+    pub fn total_degree(&self, v: NodeId) -> usize {
+        self.schema
+            .relations()
+            .map(|r| self.degree(v, r))
+            .sum()
+    }
+
+    /// Relations under which `v` has at least one neighbor — the support of
+    /// the paper's Eq. 1 relation-sampling distribution.
+    pub fn active_relations(&self, v: NodeId) -> Vec<RelationId> {
+        self.schema
+            .relations()
+            .filter(|&r| self.degree(v, r) > 0)
+            .collect()
+    }
+
+    /// Whether `u` and `v` are connected under relation `r`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId, r: RelationId) -> bool {
+        self.adjacency[r.index()].has_edge(u, v)
+    }
+
+    /// Whether `u` and `v` are connected under *any* relation.
+    pub fn has_any_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.schema.relations().any(|r| self.has_edge(u, v, r))
+    }
+
+    /// Iterates over the undirected edges of relation `r` (each reported
+    /// once, with `u < v`).
+    pub fn edges_in(&self, r: RelationId) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency[r.index()]
+            .edges()
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// Induces the sub-multiplex containing only the given relations
+    /// (the relation-specific subgraph family `g_{r_i, …, r_k}` used by the
+    /// paper's Table VII uplift experiment). Node set is unchanged; the
+    /// relation ids are renumbered in the order given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relations` is empty or contains an unknown id.
+    pub fn induce_relations(&self, relations: &[RelationId]) -> MultiplexGraph {
+        assert!(!relations.is_empty(), "must keep at least one relation");
+        let mut schema = Schema::new();
+        for name in self.schema.node_type_names() {
+            schema.add_node_type(name);
+        }
+        for &r in relations {
+            schema.add_relation(self.schema.relation_name(r));
+        }
+        let adjacency = relations
+            .iter()
+            .map(|&r| self.adjacency[r.index()].clone())
+            .collect();
+        MultiplexGraph {
+            schema,
+            node_types: self.node_types.clone(),
+            nodes_by_type: self.nodes_by_type.clone(),
+            adjacency,
+        }
+    }
+
+    /// The relation-specific subgraph `g_r` as a single-relation multiplex.
+    pub fn relation_subgraph(&self, r: RelationId) -> MultiplexGraph {
+        self.induce_relations(&[r])
+    }
+
+    pub(crate) fn adjacency(&self) -> &[Csr] {
+        &self.adjacency
+    }
+
+    pub(crate) fn from_parts(
+        schema: Schema,
+        node_types: Vec<NodeTypeId>,
+        adjacency: Vec<Csr>,
+    ) -> Self {
+        let mut nodes_by_type = vec![Vec::new(); schema.num_node_types()];
+        for (i, &ty) in node_types.iter().enumerate() {
+            nodes_by_type[ty.index()].push(NodeId(i as u32));
+        }
+        Self {
+            schema,
+            node_types,
+            nodes_by_type,
+            adjacency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two users, one video; u0 likes & comments the video, u1 likes it.
+    fn tiny() -> MultiplexGraph {
+        let mut schema = Schema::new();
+        let user = schema.add_node_type("user");
+        let video = schema.add_node_type("video");
+        let like = schema.add_relation("like");
+        let comment = schema.add_relation("comment");
+
+        let mut b = GraphBuilder::new(schema);
+        let u0 = b.add_node(user);
+        let u1 = b.add_node(user);
+        let v = b.add_node(video);
+        b.add_edge(u0, v, like);
+        b.add_edge(u0, v, comment);
+        b.add_edge(u1, v, like);
+        b.build()
+    }
+
+    #[test]
+    fn multiplexity_counts() {
+        let g = tiny();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let like = g.schema().relation_id("like").unwrap();
+        let comment = g.schema().relation_id("comment").unwrap();
+        assert_eq!(g.num_edges_in(like), 2);
+        assert_eq!(g.num_edges_in(comment), 1);
+        // Same pair connected under two relations — the multiplexity property.
+        assert!(g.has_edge(NodeId(0), NodeId(2), like));
+        assert!(g.has_edge(NodeId(0), NodeId(2), comment));
+        assert!(!g.has_edge(NodeId(1), NodeId(2), comment));
+    }
+
+    #[test]
+    fn typed_node_queries() {
+        let g = tiny();
+        let user = g.schema().node_type_id("user").unwrap();
+        let video = g.schema().node_type_id("video").unwrap();
+        assert_eq!(g.nodes_of_type(user), &[NodeId(0), NodeId(1)]);
+        assert_eq!(g.nodes_of_type(video), &[NodeId(2)]);
+        assert_eq!(g.node_type(NodeId(2)), video);
+    }
+
+    #[test]
+    fn neighbors_are_undirected() {
+        let g = tiny();
+        let like = g.schema().relation_id("like").unwrap();
+        assert_eq!(g.neighbors(NodeId(2), like), &[NodeId(0), NodeId(1)]);
+        assert_eq!(g.neighbors(NodeId(0), like), &[NodeId(2)]);
+        assert_eq!(g.degree(NodeId(2), like), 2);
+        assert_eq!(g.total_degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn active_relations_excludes_empty() {
+        let g = tiny();
+        let like = g.schema().relation_id("like").unwrap();
+        let comment = g.schema().relation_id("comment").unwrap();
+        assert_eq!(g.active_relations(NodeId(0)), vec![like, comment]);
+        assert_eq!(g.active_relations(NodeId(1)), vec![like]);
+    }
+
+    #[test]
+    fn induce_relations_renumbers() {
+        let g = tiny();
+        let comment = g.schema().relation_id("comment").unwrap();
+        let sub = g.induce_relations(&[comment]);
+        assert_eq!(sub.schema().num_relations(), 1);
+        assert_eq!(sub.num_edges(), 1);
+        let r0 = RelationId(0);
+        assert_eq!(sub.schema().relation_name(r0), "comment");
+        assert!(sub.has_edge(NodeId(0), NodeId(2), r0));
+        // Node set is preserved even for nodes isolated in the subgraph.
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.degree(NodeId(1), r0), 0);
+    }
+
+    #[test]
+    fn edges_in_reports_each_once() {
+        let g = tiny();
+        let like = g.schema().relation_id("like").unwrap();
+        let edges: Vec<_> = g.edges_in(like).collect();
+        assert_eq!(edges, vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        let r = schema.add_relation("r");
+        let mut b = GraphBuilder::new(schema);
+        let n = b.add_node(t);
+        b.add_edge(n, n, r);
+    }
+
+    #[test]
+    fn duplicate_edges_dedup() {
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        let r = schema.add_relation("r");
+        let mut b = GraphBuilder::new(schema);
+        let a = b.add_node(t);
+        let c = b.add_node(t);
+        b.add_edge(a, c, r);
+        b.add_edge(c, a, r);
+        b.add_edge(a, c, r);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn add_nodes_range() {
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        schema.add_relation("r");
+        let mut b = GraphBuilder::new(schema);
+        let range = b.add_nodes(t, 5);
+        assert_eq!(range, 0..5);
+        let range2 = b.add_nodes(t, 3);
+        assert_eq!(range2, 5..8);
+    }
+}

@@ -1,0 +1,87 @@
+//! Strongly-typed identifiers.
+//!
+//! Node ids are `u32` (the paper's largest graph has ~105k nodes), node-type
+//! and relation ids are `u16` — keeping hot adjacency arrays compact per the
+//! "smaller integers" guidance in the perf book.
+
+use std::fmt;
+
+/// Identifier of a node in a [`MultiplexGraph`](crate::MultiplexGraph).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a node type (the paper's `O` set, e.g. user / video / author).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeTypeId(pub u16);
+
+impl NodeTypeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of an edge type / relationship (the paper's `R` set,
+/// e.g. click / like / comment / download).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u16);
+
+impl RelationId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_format() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+        assert_eq!(format!("{:?}", NodeTypeId(1)), "t1");
+        assert_eq!(format!("{:?}", RelationId(3)), "r3");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(RelationId(0) < RelationId(5));
+    }
+}

@@ -1,0 +1,48 @@
+//! Multiplex heterogeneous graph substrate for the HybridGNN reproduction.
+//!
+//! Implements the paper's Definitions 1–5: heterogeneous networks with typed
+//! nodes (`O`) and multiple relations (`R`) where a pair of nodes may be
+//! connected under several relations simultaneously (the *multiplexity*
+//! property), plus metapath schemes and relation-specific subgraphs.
+//!
+//! Storage is one undirected CSR per relation, giving O(1) neighbor slices
+//! and O(log d) membership tests — the access patterns every sampler in
+//! `mhg-sampling` is built on.
+//!
+//! # Example
+//!
+//! ```
+//! use mhg_graph::{GraphBuilder, MetapathScheme, Schema};
+//!
+//! let mut schema = Schema::new();
+//! let user = schema.add_node_type("user");
+//! let video = schema.add_node_type("video");
+//! let like = schema.add_relation("like");
+//! let comment = schema.add_relation("comment");
+//!
+//! let mut b = GraphBuilder::new(schema);
+//! let u = b.add_node(user);
+//! let v = b.add_node(video);
+//! b.add_edge(u, v, like);
+//! b.add_edge(u, v, comment); // multiplex: same pair, second relation
+//! let g = b.build();
+//!
+//! assert!(g.has_edge(u, v, like) && g.has_edge(u, v, comment));
+//! let uvu = MetapathScheme::intra(vec![user, video, user], like);
+//! assert!(uvu.is_intra_relationship());
+//! ```
+
+mod csr;
+mod graph;
+mod ids;
+mod metapath;
+pub mod persist;
+mod schema;
+mod stats;
+
+pub use csr::Csr;
+pub use graph::{GraphBuilder, MultiplexGraph};
+pub use ids::{NodeId, NodeTypeId, RelationId};
+pub use metapath::MetapathScheme;
+pub use schema::Schema;
+pub use stats::GraphStats;

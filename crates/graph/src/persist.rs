@@ -1,0 +1,268 @@
+//! Binary snapshot persistence for [`MultiplexGraph`].
+//!
+//! A small hand-rolled codec over [`bytes`]: length-prefixed strings and
+//! little-endian arrays, with a magic header and version byte. Used by the
+//! benchmark harness to cache generated datasets between runs.
+
+use std::io;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::csr::Csr;
+use crate::{MultiplexGraph, NodeId, NodeTypeId, Schema};
+
+const MAGIC: &[u8; 4] = b"MHG1";
+const VERSION: u8 = 1;
+
+/// Errors produced when decoding a snapshot.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// The buffer did not start with the expected magic bytes.
+    BadMagic,
+    /// Snapshot version not supported by this build.
+    UnsupportedVersion(u8),
+    /// The buffer ended prematurely or contained inconsistent lengths.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an MHG snapshot (bad magic)"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            DecodeError::Truncated => write!(f, "snapshot truncated or inconsistent"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in snapshot string"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialises a graph to bytes.
+pub fn encode(graph: &MultiplexGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + graph.num_nodes() * 6 + graph.num_edges() * 10);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+
+    let schema = graph.schema();
+    put_str_list(&mut buf, schema.node_type_names());
+    put_str_list(&mut buf, schema.relation_names());
+
+    buf.put_u32_le(graph.num_nodes() as u32);
+    for v in graph.nodes() {
+        buf.put_u16_le(graph.node_type(v).0);
+    }
+
+    for csr in graph.adjacency() {
+        let offsets = csr.offsets();
+        buf.put_u32_le(offsets.len() as u32);
+        for &o in offsets {
+            buf.put_u32_le(o);
+        }
+        let targets = csr.targets();
+        buf.put_u32_le(targets.len() as u32);
+        for &t in targets {
+            buf.put_u32_le(t.0);
+        }
+    }
+
+    buf.freeze()
+}
+
+/// Deserialises a graph from bytes.
+pub fn decode(mut buf: &[u8]) -> Result<MultiplexGraph, DecodeError> {
+    if buf.remaining() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+
+    let node_type_names = get_str_list(&mut buf)?;
+    let relation_names = get_str_list(&mut buf)?;
+    let mut schema = Schema::new();
+    for n in &node_type_names {
+        schema.add_node_type(n);
+    }
+    for r in &relation_names {
+        schema.add_relation(r);
+    }
+
+    let num_nodes = get_u32(&mut buf)? as usize;
+    let mut node_types = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        if buf.remaining() < 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let t = buf.get_u16_le();
+        if t as usize >= schema.num_node_types() {
+            return Err(DecodeError::Truncated);
+        }
+        node_types.push(NodeTypeId(t));
+    }
+
+    let mut adjacency = Vec::with_capacity(schema.num_relations());
+    for _ in 0..schema.num_relations() {
+        let n_off = get_u32(&mut buf)? as usize;
+        if n_off != num_nodes + 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut offsets = Vec::with_capacity(n_off);
+        for _ in 0..n_off {
+            offsets.push(get_u32(&mut buf)?);
+        }
+        let n_tgt = get_u32(&mut buf)? as usize;
+        if *offsets.last().unwrap() as usize != n_tgt {
+            return Err(DecodeError::Truncated);
+        }
+        let mut targets = Vec::with_capacity(n_tgt);
+        for _ in 0..n_tgt {
+            let t = get_u32(&mut buf)?;
+            if t as usize >= num_nodes {
+                return Err(DecodeError::Truncated);
+            }
+            targets.push(NodeId(t));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(DecodeError::Truncated);
+        }
+        adjacency.push(Csr::from_parts(offsets, targets));
+    }
+
+    Ok(MultiplexGraph::from_parts(schema, node_types, adjacency))
+}
+
+/// Writes a snapshot to a file.
+pub fn save(graph: &MultiplexGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, encode(graph))
+}
+
+/// Reads a snapshot from a file.
+pub fn load(path: impl AsRef<Path>) -> io::Result<MultiplexGraph> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn put_str_list(buf: &mut BytesMut, items: &[String]) {
+    buf.put_u16_le(items.len() as u16);
+    for s in items {
+        buf.put_u16_le(s.len() as u16);
+        buf.put_slice(s.as_bytes());
+    }
+}
+
+fn get_str_list(buf: &mut &[u8]) -> Result<Vec<String>, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let len = buf.get_u16_le() as usize;
+        if buf.remaining() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        out.push(String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?);
+    }
+    Ok(out)
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, RelationId};
+
+    fn sample_graph() -> MultiplexGraph {
+        let mut schema = Schema::new();
+        let user = schema.add_node_type("user");
+        let item = schema.add_node_type("item");
+        let view = schema.add_relation("view");
+        let buy = schema.add_relation("buy");
+        let mut b = GraphBuilder::new(schema);
+        let u0 = b.add_node(user);
+        let u1 = b.add_node(user);
+        let i0 = b.add_node(item);
+        let i1 = b.add_node(item);
+        b.add_edge(u0, i0, view);
+        b.add_edge(u0, i0, buy);
+        b.add_edge(u1, i1, view);
+        b.add_edge(u0, i1, view);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample_graph();
+        let bytes = encode(&g);
+        let g2 = decode(&bytes).expect("decode");
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.schema(), g2.schema());
+        for v in g.nodes() {
+            assert_eq!(g.node_type(v), g2.node_type(v));
+            for r in g.schema().relations() {
+                assert_eq!(g.neighbors(v, r), g2.neighbors(v, r));
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join("mhg_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.mhg");
+        save(&g, &path).unwrap();
+        let g2 = load(&path).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(decode(b"nope"), Err(DecodeError::Truncated)));
+        assert!(matches!(
+            decode(b"XXXX\x01rest"),
+            Err(DecodeError::BadMagic)
+        ));
+        assert!(matches!(
+            decode(b"MHG1\x63rest"),
+            Err(DecodeError::UnsupportedVersion(0x63))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let g = sample_graph();
+        let bytes = encode(&g);
+        // Chop the buffer at several points; decode must error, not panic.
+        for cut in [5, 9, 15, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail cleanly"
+            );
+        }
+        let _ = RelationId(0); // silence unused import in cfg(test)
+    }
+}

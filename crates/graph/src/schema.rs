@@ -1,0 +1,145 @@
+//! Graph schema: interned node-type and relation vocabularies.
+
+use crate::{NodeTypeId, RelationId};
+
+/// The type vocabulary of a multiplex heterogeneous graph: the paper's
+/// `O` (node types) and `R` (relationships).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    node_types: Vec<String>,
+    relations: Vec<String>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a schema from name lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names within a list.
+    pub fn from_names<S: AsRef<str>>(node_types: &[S], relations: &[S]) -> Self {
+        let mut schema = Self::new();
+        for nt in node_types {
+            schema.add_node_type(nt.as_ref());
+        }
+        for r in relations {
+            schema.add_relation(r.as_ref());
+        }
+        schema
+    }
+
+    /// Registers a node type, returning its id. Idempotent per name.
+    pub fn add_node_type(&mut self, name: &str) -> NodeTypeId {
+        if let Some(id) = self.node_type_id(name) {
+            return id;
+        }
+        assert!(
+            self.node_types.len() < u16::MAX as usize,
+            "too many node types"
+        );
+        let id = NodeTypeId(self.node_types.len() as u16);
+        self.node_types.push(name.to_string());
+        id
+    }
+
+    /// Registers a relation, returning its id. Idempotent per name.
+    pub fn add_relation(&mut self, name: &str) -> RelationId {
+        if let Some(id) = self.relation_id(name) {
+            return id;
+        }
+        assert!(
+            self.relations.len() < u16::MAX as usize,
+            "too many relations"
+        );
+        let id = RelationId(self.relations.len() as u16);
+        self.relations.push(name.to_string());
+        id
+    }
+
+    /// Looks up a node type by name.
+    pub fn node_type_id(&self, name: &str) -> Option<NodeTypeId> {
+        self.node_types
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeTypeId(i as u16))
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.relations
+            .iter()
+            .position(|n| n == name)
+            .map(|i| RelationId(i as u16))
+    }
+
+    /// The name of a node type.
+    pub fn node_type_name(&self, id: NodeTypeId) -> &str {
+        &self.node_types[id.index()]
+    }
+
+    /// The name of a relation.
+    pub fn relation_name(&self, id: RelationId) -> &str {
+        &self.relations[id.index()]
+    }
+
+    /// Number of node types (`|O|`).
+    pub fn num_node_types(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of relations (`|R|`).
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Iterates over all node-type ids.
+    pub fn node_types(&self) -> impl Iterator<Item = NodeTypeId> {
+        (0..self.node_types.len() as u16).map(NodeTypeId)
+    }
+
+    /// Iterates over all relation ids.
+    pub fn relations(&self) -> impl Iterator<Item = RelationId> {
+        (0..self.relations.len() as u16).map(RelationId)
+    }
+
+    /// All node-type names in id order.
+    pub fn node_type_names(&self) -> &[String] {
+        &self.node_types
+    }
+
+    /// All relation names in id order.
+    pub fn relation_names(&self) -> &[String] {
+        &self.relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut s = Schema::new();
+        let a = s.add_node_type("user");
+        let b = s.add_node_type("video");
+        let a2 = s.add_node_type("user");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(s.num_node_types(), 2);
+        assert_eq!(s.node_type_name(b), "video");
+    }
+
+    #[test]
+    fn relation_lookup() {
+        let s = Schema::from_names(&["item"], &["click", "like"]);
+        assert_eq!(s.relation_id("like"), Some(RelationId(1)));
+        assert_eq!(s.relation_id("missing"), None);
+        assert_eq!(s.num_relations(), 2);
+        let rels: Vec<_> = s.relations().collect();
+        assert_eq!(rels, vec![RelationId(0), RelationId(1)]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Graph statistics — the numbers reported in the paper's Table II.
+
+use std::fmt;
+
+use crate::{MultiplexGraph, RelationId};
+
+/// Summary statistics of a multiplex heterogeneous graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_nodes: usize,
+    /// `|E|` (undirected, summed over relations).
+    pub num_edges: usize,
+    /// `|O|`.
+    pub num_node_types: usize,
+    /// `|R|`.
+    pub num_relations: usize,
+    /// Undirected edge count per relation, in relation-id order.
+    pub edges_per_relation: Vec<usize>,
+    /// Node count per node type, in type-id order.
+    pub nodes_per_type: Vec<usize>,
+    /// Mean total degree.
+    pub mean_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Fraction of connected node pairs linked under ≥ 2 relations — a
+    /// direct measure of the multiplexity property.
+    pub multiplex_pair_fraction: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(graph: &MultiplexGraph) -> Self {
+        let schema = graph.schema();
+        let edges_per_relation: Vec<usize> = schema
+            .relations()
+            .map(|r| graph.num_edges_in(r))
+            .collect();
+        let nodes_per_type: Vec<usize> = schema
+            .node_types()
+            .map(|t| graph.nodes_of_type(t).len())
+            .collect();
+
+        let mut max_degree = 0;
+        let mut degree_sum = 0usize;
+        for v in graph.nodes() {
+            let d = graph.total_degree(v);
+            max_degree = max_degree.max(d);
+            degree_sum += d;
+        }
+
+        // Count pairs connected under ≥2 relations by scanning the sparsest
+        // relation's edges against the others.
+        let mut multiplex_pairs = 0usize;
+        let mut connected_pairs = 0usize;
+        let relations: Vec<RelationId> = schema.relations().collect();
+        // Collect each undirected pair once across relations.
+        let mut seen: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::new();
+        for &r in &relations {
+            for (u, v) in graph.edges_in(r) {
+                *seen.entry((u.0, v.0)).or_insert(0) += 1;
+            }
+        }
+        for (_, count) in seen {
+            connected_pairs += 1;
+            if count >= 2 {
+                multiplex_pairs += 1;
+            }
+        }
+
+        Self {
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_edges(),
+            num_node_types: schema.num_node_types(),
+            num_relations: schema.num_relations(),
+            edges_per_relation,
+            nodes_per_type,
+            mean_degree: degree_sum as f64 / graph.num_nodes().max(1) as f64,
+            max_degree,
+            multiplex_pair_fraction: multiplex_pairs as f64 / connected_pairs.max(1) as f64,
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "|V|={} |E|={} |O|={} |R|={}",
+            self.num_nodes, self.num_edges, self.num_node_types, self.num_relations
+        )?;
+        writeln!(f, "nodes/type: {:?}", self.nodes_per_type)?;
+        writeln!(f, "edges/relation: {:?}", self.edges_per_relation)?;
+        write!(
+            f,
+            "mean degree {:.2}, max degree {}, multiplex pairs {:.1}%",
+            self.mean_degree,
+            self.max_degree,
+            100.0 * self.multiplex_pair_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Schema};
+
+    #[test]
+    fn stats_on_tiny_graph() {
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        let r0 = schema.add_relation("a");
+        let r1 = schema.add_relation("b");
+        let mut b = GraphBuilder::new(schema);
+        let n0 = b.add_node(t);
+        let n1 = b.add_node(t);
+        let n2 = b.add_node(t);
+        b.add_edge(n0, n1, r0);
+        b.add_edge(n0, n1, r1); // multiplex pair
+        b.add_edge(n1, n2, r0);
+        let g = b.build();
+
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.edges_per_relation, vec![2, 1]);
+        assert_eq!(s.nodes_per_type, vec![3]);
+        assert_eq!(s.max_degree, 3); // n1: two r0 + one r1
+        assert!((s.multiplex_pair_fraction - 0.5).abs() < 1e-9);
+        assert!((s.mean_degree - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_key_counts() {
+        let mut schema = Schema::new();
+        let t = schema.add_node_type("x");
+        let r = schema.add_relation("a");
+        let mut b = GraphBuilder::new(schema);
+        let n0 = b.add_node(t);
+        let n1 = b.add_node(t);
+        b.add_edge(n0, n1, r);
+        let s = GraphStats::compute(&b.build());
+        let text = s.to_string();
+        assert!(text.contains("|V|=2"));
+        assert!(text.contains("|E|=1"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based invariants for the graph substrate.
+
+use mhg_graph::{persist, GraphBuilder, GraphStats, MultiplexGraph, NodeId, RelationId, Schema};
+use proptest::prelude::*;
+
+/// A random multiplex graph spec: node counts per 2 types, and edges.
+#[derive(Debug, Clone)]
+struct Spec {
+    type_counts: Vec<usize>,
+    edges: Vec<(usize, usize, usize)>, // (u, v, relation) by raw index
+    num_relations: usize,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (1usize..=3, 1usize..=3).prop_flat_map(|(num_types, num_relations)| {
+        proptest::collection::vec(1usize..=6, num_types).prop_flat_map(move |type_counts| {
+            let total: usize = type_counts.iter().sum();
+            let edge = (0..total, 0..total, 0..num_relations);
+            proptest::collection::vec(edge, 0..30).prop_map(move |edges| Spec {
+                type_counts: type_counts.clone(),
+                edges,
+                num_relations,
+            })
+        })
+    })
+}
+
+fn build(spec: &Spec) -> MultiplexGraph {
+    let mut schema = Schema::new();
+    let types: Vec<_> = (0..spec.type_counts.len())
+        .map(|i| schema.add_node_type(&format!("t{i}")))
+        .collect();
+    for r in 0..spec.num_relations {
+        schema.add_relation(&format!("r{r}"));
+    }
+    let mut b = GraphBuilder::new(schema);
+    for (ti, &count) in spec.type_counts.iter().enumerate() {
+        b.add_nodes(types[ti], count);
+    }
+    let total: usize = spec.type_counts.iter().sum();
+    for &(u, v, r) in &spec.edges {
+        if u != v && u < total && v < total {
+            b.add_edge(
+                NodeId(u as u32),
+                NodeId(v as u32),
+                RelationId(r as u16),
+            );
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma_per_relation(s in spec()) {
+        let g = build(&s);
+        for r in g.schema().relations() {
+            let degree_sum: usize = g.nodes().map(|v| g.degree(v, r)).sum();
+            prop_assert_eq!(degree_sum, 2 * g.num_edges_in(r));
+        }
+    }
+
+    #[test]
+    fn neighbor_symmetry(s in spec()) {
+        let g = build(&s);
+        for r in g.schema().relations() {
+            for u in g.nodes() {
+                for &v in g.neighbors(u, r) {
+                    prop_assert!(g.has_edge(v, u, r), "asymmetric edge {u:?}-{v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_and_unique(s in spec()) {
+        let g = build(&s);
+        for r in g.schema().relations() {
+            for u in g.nodes() {
+                let ns = g.neighbors(u, r);
+                prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_partitioned_by_type(s in spec()) {
+        let g = build(&s);
+        let total: usize = g
+            .schema()
+            .node_types()
+            .map(|t| g.nodes_of_type(t).len())
+            .sum();
+        prop_assert_eq!(total, g.num_nodes());
+        for t in g.schema().node_types() {
+            for &v in g.nodes_of_type(t) {
+                prop_assert_eq!(g.node_type(v), t);
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_kept_relations(s in spec()) {
+        let g = build(&s);
+        if g.schema().num_relations() < 2 {
+            return Ok(());
+        }
+        let keep: Vec<RelationId> = g.schema().relations().take(1).collect();
+        let sub = g.induce_relations(&keep);
+        prop_assert_eq!(sub.num_nodes(), g.num_nodes());
+        prop_assert_eq!(sub.num_edges(), g.num_edges_in(keep[0]));
+        for u in g.nodes() {
+            prop_assert_eq!(sub.neighbors(u, RelationId(0)), g.neighbors(u, keep[0]));
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip(s in spec()) {
+        let g = build(&s);
+        let bytes = persist::encode(&g);
+        let g2 = persist::decode(&bytes).expect("decode");
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for u in g.nodes() {
+            prop_assert_eq!(g.node_type(u), g2.node_type(u));
+            for r in g.schema().relations() {
+                prop_assert_eq!(g.neighbors(u, r), g2.neighbors(u, r));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_consistency(s in spec()) {
+        let g = build(&s);
+        let st = GraphStats::compute(&g);
+        prop_assert_eq!(st.num_nodes, g.num_nodes());
+        prop_assert_eq!(st.num_edges, g.num_edges());
+        prop_assert_eq!(st.edges_per_relation.iter().sum::<usize>(), g.num_edges());
+        prop_assert!((0.0..=1.0).contains(&st.multiplex_pair_fraction));
+        let max_possible = g.num_nodes().saturating_sub(1) * g.schema().num_relations();
+        prop_assert!(st.max_degree <= max_possible);
+    }
+
+    #[test]
+    fn active_relations_matches_degree(s in spec()) {
+        let g = build(&s);
+        for v in g.nodes() {
+            let active = g.active_relations(v);
+            for r in g.schema().relations() {
+                prop_assert_eq!(active.contains(&r), g.degree(v, r) > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Hybrid aggregation flows (paper §III-C, Eq. 3–5) and the hierarchical
+//! attention blocks (§III-D, Eq. 6–9), expressed on the autograd tape.
+
+use mhg_autograd::{Graph, ParamId, Var};
+use mhg_sampling::LayeredNeighbors;
+
+use crate::config::AggregatorKind;
+
+/// LSTM-cell parameters: per-gate input/hidden projections and biases, in
+/// gate order `[input, forget, output, candidate]`. Shared across flows.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LstmParams {
+    /// Input projections `W_x` (`d_h × d_h` each).
+    pub wx: [ParamId; 4],
+    /// Hidden projections `W_h` (`d_h × d_h` each).
+    pub wh: [ParamId; 4],
+    /// Biases (`1 × d_h` each).
+    pub b: [ParamId; 4],
+}
+
+/// The aggregation function applied at every flow step, carrying its
+/// learnable state when the aggregator has any (LSTM).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FlowAggregator {
+    /// A stateless pool: mean, sum or max.
+    Simple(AggregatorKind),
+    /// LSTM over the stacked rows.
+    Lstm(LstmParams),
+}
+
+impl FlowAggregator {
+    /// Builds the aggregator for a configured kind.
+    pub(crate) fn new(kind: AggregatorKind, lstm: Option<LstmParams>) -> Self {
+        match kind {
+            AggregatorKind::Lstm => {
+                FlowAggregator::Lstm(lstm.expect("LSTM aggregator needs its parameters"))
+            }
+            other => FlowAggregator::Simple(other),
+        }
+    }
+}
+
+/// Pools a stack of rows into `1 × d` with the configured aggregator.
+fn pool(g: &mut Graph<'_>, stack: Var, agg: &FlowAggregator) -> Var {
+    match agg {
+        FlowAggregator::Simple(AggregatorKind::Mean) => g.mean_rows(stack),
+        FlowAggregator::Simple(AggregatorKind::Sum) => g.sum_rows(stack),
+        FlowAggregator::Simple(AggregatorKind::MaxPool) => g.max_rows(stack),
+        FlowAggregator::Simple(AggregatorKind::Lstm) => {
+            unreachable!("Lstm kind is always wrapped with parameters")
+        }
+        FlowAggregator::Lstm(p) => lstm_pool(g, stack, p),
+    }
+}
+
+/// Runs an LSTM over the rows of `stack` (`n × d_h`) and returns the final
+/// hidden state (`1 × d_h`).
+fn lstm_pool(g: &mut Graph<'_>, stack: Var, p: &LstmParams) -> Var {
+    let n = g.value(stack).rows();
+    let d = g.value(stack).cols();
+    let zero = g.constant(mhg_tensor::Tensor::zeros(1, d));
+    let mut h = zero;
+    let mut c = zero;
+    for i in 0..n {
+        let x = g.slice_rows(stack, i, i + 1);
+        let gate = |g: &mut Graph<'_>, h: Var, idx: usize| -> Var {
+            let wx = g.param(p.wx[idx]);
+            let wh = g.param(p.wh[idx]);
+            let b = g.param(p.b[idx]);
+            let xa = g.matmul(x, wx);
+            let ha = g.matmul(h, wh);
+            let sum = g.add(xa, ha);
+            g.add(sum, b)
+        };
+        let i_gate = {
+            let z = gate(g, h, 0);
+            g.sigmoid(z)
+        };
+        let f_gate = {
+            let z = gate(g, h, 1);
+            g.sigmoid(z)
+        };
+        let o_gate = {
+            let z = gate(g, h, 2);
+            g.sigmoid(z)
+        };
+        let cand = {
+            let z = gate(g, h, 3);
+            g.tanh(z)
+        };
+        let kept = g.mul(f_gate, c);
+        let new = g.mul(i_gate, cand);
+        c = g.add(kept, new);
+        let ct = g.tanh(c);
+        h = g.mul(o_gate, ct);
+    }
+    h
+}
+
+/// Computes one aggregation flow embedding `h_{v|P}` (Eq. 3 for metapath
+/// flows, Eq. 4 for the randomized-exploration flow) from layered neighbor
+/// sets: the recursion folds the layers leaves-to-root, sharing the flow's
+/// weight matrix `w` at every step.
+///
+/// `layers[0]` must be `[v]`. Returns a `1 × d_h` variable.
+pub(crate) fn flow_embedding(
+    g: &mut Graph<'_>,
+    flow_table: ParamId,
+    w: ParamId,
+    layers: &LayeredNeighbors,
+    agg: &FlowAggregator,
+) -> Var {
+    debug_assert!(!layers.is_empty() && layers[0].len() == 1);
+    let wv = g.param(w);
+    let mut carried: Option<Var> = None;
+    for layer in layers.iter().skip(1).rev() {
+        let ids: Vec<u32> = layer.iter().map(|n| n.0).collect();
+        let gathered = g.gather(flow_table, &ids);
+        let stack = match carried {
+            Some(c) => g.concat_rows(&[gathered, c]),
+            None => gathered,
+        };
+        let pooled = pool(g, stack, agg);
+        let lin = g.matmul(pooled, wv);
+        carried = Some(g.tanh(lin));
+    }
+    // Root step: combine v's own flow embedding with the carried summary.
+    let self_ids = [layers[0][0].0];
+    let self_row = g.gather(flow_table, &self_ids);
+    let stack = match carried {
+        Some(c) => g.concat_rows(&[self_row, c]),
+        None => self_row,
+    };
+    let pooled = pool(g, stack, agg);
+    let lin = g.matmul(pooled, wv);
+    g.tanh(lin)
+}
+
+/// Single-head scaled dot-product self-attention (Eq. 6 / Eq. 9):
+/// `softmax(X·Wq · (X·Wk)ᵀ / √d_k) · X·Wv`.
+///
+/// Returns `(output, attention)` where `attention` is the `n × n` softmax
+/// matrix (used by the Fig. 4 attention-score export).
+pub(crate) fn self_attention(
+    g: &mut Graph<'_>,
+    x: Var,
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+) -> (Var, Var) {
+    let d_k = g.param_shape(wq).cols as f32;
+    let q = {
+        let w = g.param(wq);
+        g.matmul(x, w)
+    };
+    let k = {
+        let w = g.param(wk);
+        g.matmul(x, w)
+    };
+    let v = {
+        let w = g.param(wv);
+        g.matmul(x, w)
+    };
+    let kt = g.transpose(k);
+    let logits = g.matmul(q, kt);
+    let scaled = g.scale(logits, 1.0 / d_k.sqrt());
+    let attn = g.softmax_rows(scaled);
+    (g.matmul(attn, v), attn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhg_autograd::ParamStore;
+    use mhg_graph::NodeId;
+    use mhg_tensor::{InitKind, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, ParamId, ParamId) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = ParamStore::new();
+        let flow = params.register(
+            "flow",
+            Tensor::from_rows(&[
+                &[1.0, 0.0],
+                &[0.0, 1.0],
+                &[1.0, 1.0],
+                &[2.0, 0.0],
+            ]),
+        );
+        let w = params.register("w", InitKind::XavierUniform.init(2, 2, &mut rng));
+        (params, flow, w)
+    }
+
+    #[test]
+    fn flow_embedding_shape() {
+        let (params, flow, w) = setup();
+        let mut g = Graph::new(&params);
+        let layers = vec![
+            vec![NodeId(0)],
+            vec![NodeId(1), NodeId(2)],
+            vec![NodeId(3)],
+        ];
+        let h = flow_embedding(&mut g, flow, w, &layers, &FlowAggregator::Simple(AggregatorKind::Mean));
+        let t = g.value(h);
+        assert_eq!((t.rows(), t.cols()), (1, 2));
+        assert!(t.all_finite());
+        // tanh output bounded.
+        assert!(t.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn flow_embedding_single_layer() {
+        let (params, flow, w) = setup();
+        let mut g = Graph::new(&params);
+        let layers = vec![vec![NodeId(2)]];
+        let h = flow_embedding(&mut g, flow, w, &layers, &FlowAggregator::Simple(AggregatorKind::Mean));
+        assert_eq!(g.value(h).rows(), 1);
+    }
+
+    #[test]
+    fn aggregators_differ() {
+        let (params, flow, w) = setup();
+        let layers = vec![vec![NodeId(0)], vec![NodeId(1), NodeId(3)]];
+        let values: Vec<Tensor> = [
+            AggregatorKind::Mean,
+            AggregatorKind::Sum,
+            AggregatorKind::MaxPool,
+        ]
+        .iter()
+        .map(|&kind| {
+            let mut g = Graph::new(&params);
+            let h = flow_embedding(&mut g, flow, w, &layers, &FlowAggregator::Simple(kind));
+            g.value(h).clone()
+        })
+        .collect();
+        assert!(values[0].max_abs_diff(&values[1]) > 1e-6);
+        assert!(values[0].max_abs_diff(&values[2]) > 1e-6);
+    }
+
+    #[test]
+    fn lstm_pool_runs_and_is_order_sensitive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = ParamStore::new();
+        let flow = params.register(
+            "flow",
+            Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, -0.5], &[-1.0, 1.0]]),
+        );
+        let w = params.register("w", InitKind::XavierUniform.init(2, 2, &mut rng));
+        let mut mat = |name: &str, p: &mut ParamStore| {
+            p.register(name.to_string(), InitKind::XavierUniform.init(2, 2, &mut rng))
+        };
+        let wx = [
+            mat("wxi", &mut params),
+            mat("wxf", &mut params),
+            mat("wxo", &mut params),
+            mat("wxg", &mut params),
+        ];
+        let wh = [
+            mat("whi", &mut params),
+            mat("whf", &mut params),
+            mat("who", &mut params),
+            mat("whg", &mut params),
+        ];
+        let b = [
+            params.register("bi", Tensor::zeros(1, 2)),
+            params.register("bf", Tensor::full(1, 2, 1.0)),
+            params.register("bo", Tensor::zeros(1, 2)),
+            params.register("bg", Tensor::zeros(1, 2)),
+        ];
+        let lstm = LstmParams { wx, wh, b };
+        let agg = FlowAggregator::Lstm(lstm);
+
+        // Same multiset of neighbors, different order: the LSTM (unlike
+        // mean) is order-sensitive.
+        let fwd = vec![vec![NodeId(0)], vec![NodeId(1), NodeId(3)]];
+        let rev = vec![vec![NodeId(0)], vec![NodeId(3), NodeId(1)]];
+        let mut g1 = Graph::new(&params);
+        let h1 = flow_embedding(&mut g1, flow, w, &fwd, &agg);
+        let v1 = g1.value(h1).clone();
+        let mut g2 = Graph::new(&params);
+        let h2 = flow_embedding(&mut g2, flow, w, &rev, &agg);
+        let v2 = g2.value(h2).clone();
+        assert!(v1.all_finite() && v2.all_finite());
+        assert!(v1.max_abs_diff(&v2) > 1e-7, "LSTM should be order-sensitive");
+
+        // And its gradients must flow: backprop a scalar through it.
+        let mut g3 = Graph::new(&params);
+        let h3 = flow_embedding(&mut g3, flow, w, &fwd, &agg);
+        let s = g3.sum_all(h3);
+        let grads = g3.backward(s);
+        assert!(grads.get(lstm.wx[0]).is_some(), "no gradient reached W_xi");
+    }
+
+    /// §III-F, case G₂: with a single relation the relationship-level
+    /// softmax is 1×1 and its weight is identically 1 — the attention
+    /// mechanism carries no information on such graphs.
+    #[test]
+    fn single_row_attention_weight_is_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = ParamStore::new();
+        let wq = params.register("wq", InitKind::XavierUniform.init(3, 3, &mut rng));
+        let wk = params.register("wk", InitKind::XavierUniform.init(3, 3, &mut rng));
+        let wv = params.register("wv", InitKind::XavierUniform.init(3, 3, &mut rng));
+        let mut g = Graph::new(&params);
+        let x = g.constant(Tensor::from_rows(&[&[0.3, -0.7, 1.1]]));
+        let (_, attn) = self_attention(&mut g, x, wq, wk, wv);
+        let a = g.value(attn);
+        assert_eq!((a.rows(), a.cols()), (1, 1));
+        assert!((a[(0, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_attention_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = ParamStore::new();
+        let wq = params.register("wq", InitKind::XavierUniform.init(3, 3, &mut rng));
+        let wk = params.register("wk", InitKind::XavierUniform.init(3, 3, &mut rng));
+        let wv = params.register("wv", InitKind::XavierUniform.init(3, 3, &mut rng));
+        let mut g = Graph::new(&params);
+        let x = g.constant(InitKind::Uniform { limit: 1.0 }.init(4, 3, &mut rng));
+        let (out, attn) = self_attention(&mut g, x, wq, wk, wv);
+        let a = g.value(attn);
+        assert_eq!((a.rows(), a.cols()), (4, 4));
+        for r in 0..4 {
+            let sum: f32 = a.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(g.value(out).rows(), 4);
+    }
+}

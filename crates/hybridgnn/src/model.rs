@@ -1,0 +1,473 @@
+//! The HybridGNN model (paper §III): randomized inter-relationship
+//! exploration + hybrid aggregation flows + hierarchical attention, trained
+//! with the heterogeneous skip-gram objective over metapath-based walks.
+
+use std::collections::HashMap;
+
+use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
+use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, NodeTypeId, RelationId};
+use mhg_sampling::{
+    pairs_from_walk, InterRelationshipExplorer, MetapathNeighborSampler, MetapathWalker,
+    NegativeSampler, Pair, UniformNeighborSampler,
+};
+use mhg_tensor::{InitKind, Tensor};
+use mhg_models::{
+    EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision, TrainReport,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::config::HybridConfig;
+use crate::config::AggregatorKind;
+use crate::flows::{flow_embedding, self_attention, FlowAggregator, LstmParams};
+
+const BATCH: usize = 48;
+
+/// Averaged metapath-level attention mass per flow, per relation — the data
+/// behind the paper's Fig. 4.
+pub type AttentionProfile = Vec<Vec<(String, f64)>>;
+
+/// The HybridGNN link predictor.
+pub struct HybridGnn {
+    config: HybridConfig,
+    scores: EmbeddingScores,
+    attention: AttentionProfile,
+}
+
+struct Params {
+    base: ParamId,
+    ctx: ParamId,
+    flow: ParamId,
+    /// Per metapath shape (shared across relations; the attention layers
+    /// provide relation-specific mixing).
+    w_shape: Vec<ParamId>,
+    w_rand: ParamId,
+    w_self: ParamId,
+    mq: ParamId,
+    mk: ParamId,
+    mv: ParamId,
+    rq: ParamId,
+    rk: ParamId,
+    rv: ParamId,
+    w_out: Vec<ParamId>,
+    /// Present only for the LSTM aggregator.
+    lstm: Option<LstmParams>,
+}
+
+/// Static per-fit context shared by forward passes.
+struct ForwardCtx<'a> {
+    graph: &'a MultiplexGraph,
+    config: &'a HybridConfig,
+    /// Table II shapes with human-readable labels.
+    shapes: &'a [(Vec<NodeTypeId>, String)],
+}
+
+impl HybridGnn {
+    /// Creates an untrained model.
+    pub fn new(config: HybridConfig) -> Self {
+        Self {
+            config,
+            scores: EmbeddingScores::default(),
+            attention: Vec::new(),
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// The averaged metapath-level attention scores per relation observed
+    /// during the final inference pass (Fig. 4). Empty before `fit`, or if
+    /// metapath-level attention is ablated away.
+    pub fn attention_profile(&self) -> &AttentionProfile {
+        &self.attention
+    }
+
+    /// The final per-relation embedding of `v` (after `fit`).
+    pub fn embedding(&self, v: NodeId, r: RelationId) -> &[f32] {
+        self.scores.embedding(v, r)
+    }
+
+    fn init_params(
+        graph: &MultiplexGraph,
+        config: &HybridConfig,
+        num_shapes: usize,
+        rng: &mut StdRng,
+    ) -> (ParamStore, Params) {
+        let n = graph.num_nodes();
+        let d_m = config.common.dim;
+        let d_h = config.common.edge_dim;
+        let num_rel = graph.schema().num_relations();
+        let mut params = ParamStore::new();
+        let p = Params {
+            base: params.register(
+                "base",
+                InitKind::Uniform { limit: 0.5 / d_m as f32 }.init(n, d_m, rng),
+            ),
+            ctx: params.register("ctx", Tensor::zeros(n, d_m)),
+            flow: params.register(
+                "flow",
+                InitKind::Uniform { limit: 0.5 / d_h as f32 }.init(n, d_h, rng),
+            ),
+            w_shape: (0..num_shapes)
+                .map(|i| {
+                    params.register(
+                        format!("w_shape{i}"),
+                        InitKind::XavierUniform.init(d_h, d_h, rng),
+                    )
+                })
+                .collect(),
+            w_rand: params.register("w_rand", InitKind::XavierUniform.init(d_h, d_h, rng)),
+            w_self: params.register("w_self", InitKind::XavierUniform.init(d_h, d_h, rng)),
+            mq: params.register("mq", InitKind::XavierUniform.init(d_h, d_h, rng)),
+            mk: params.register("mk", InitKind::XavierUniform.init(d_h, d_h, rng)),
+            mv: params.register("mv", InitKind::XavierUniform.init(d_h, d_h, rng)),
+            rq: params.register("rq", InitKind::XavierUniform.init(d_h, d_h, rng)),
+            rk: params.register("rk", InitKind::XavierUniform.init(d_h, d_h, rng)),
+            rv: params.register("rv", InitKind::XavierUniform.init(d_h, d_h, rng)),
+            w_out: (0..num_rel)
+                .map(|i| {
+                    params.register(
+                        format!("w_out_r{i}"),
+                        InitKind::XavierUniform.init(d_h, d_m, rng),
+                    )
+                })
+                .collect(),
+            lstm: (config.aggregator == AggregatorKind::Lstm).then(|| {
+                let mut mat = |name: &str| {
+                    params.register(name.to_string(), InitKind::XavierUniform.init(d_h, d_h, rng))
+                };
+                let wx = [mat("lstm_wxi"), mat("lstm_wxf"), mat("lstm_wxo"), mat("lstm_wxg")];
+                let wh = [mat("lstm_whi"), mat("lstm_whf"), mat("lstm_who"), mat("lstm_whg")];
+                let b = [
+                    params.register("lstm_bi", Tensor::zeros(1, d_h)),
+                    // Forget-gate bias starts at 1 (standard LSTM trick).
+                    params.register("lstm_bf", Tensor::full(1, d_h, 1.0)),
+                    params.register("lstm_bo", Tensor::zeros(1, d_h)),
+                    params.register("lstm_bg", Tensor::zeros(1, d_h)),
+                ];
+                LstmParams { wx, wh, b }
+            }),
+        };
+        (params, p)
+    }
+
+    /// Forward pass for one node: returns `e*_{v,r}` for every relation
+    /// (each a `1 × d_m` variable), plus per-relation `(label, mass)`
+    /// attention observations when metapath attention is active.
+    #[allow(clippy::type_complexity)]
+    fn forward_node(
+        g: &mut Graph<'_>,
+        p: &Params,
+        ctx: &ForwardCtx<'_>,
+        v: NodeId,
+        rng: &mut StdRng,
+        collect_attention: bool,
+    ) -> (Vec<Var>, Vec<Vec<(String, f64)>>) {
+        let cfg = ctx.config;
+        let graph = ctx.graph;
+        let metapath_sampler =
+            MetapathNeighborSampler::new(graph, cfg.fan_out, cfg.max_layer);
+        let uniform_sampler = UniformNeighborSampler::new(graph, cfg.fan_out, cfg.max_layer);
+        let explorer = InterRelationshipExplorer::new(graph);
+        let aggregator = FlowAggregator::new(cfg.aggregator, p.lstm);
+
+        let mut rel_rows: Vec<Var> = Vec::with_capacity(graph.schema().num_relations());
+        let mut attn_obs: Vec<Vec<(String, f64)>> = Vec::new();
+
+        for r in graph.schema().relations() {
+            let mut rows: Vec<Var> = Vec::new();
+            let mut labels: Vec<String> = Vec::new();
+
+            for (si, (shape, label)) in ctx.shapes.iter().enumerate() {
+                if shape[0] != graph.node_type(v) {
+                    continue;
+                }
+                if cfg.use_hybrid_flows {
+                    // Intra-relationship metapath-guided flow (Eq. 3).
+                    let scheme = MetapathScheme::intra(shape.clone(), r);
+                    let layers = metapath_sampler.sample(v, &scheme, rng);
+                    if layers.len() <= 1 {
+                        continue;
+                    }
+                    rows.push(flow_embedding(
+                        g,
+                        p.flow,
+                        p.w_shape[si],
+                        &layers,
+                        &aggregator,
+                    ));
+                } else {
+                    // Ablation: random-neighbor aggregation of the same
+                    // depth replaces the metapath guidance.
+                    let layers = uniform_sampler.sample(v, shape.len() - 1, rng);
+                    if layers.len() <= 1 {
+                        continue;
+                    }
+                    rows.push(flow_embedding(
+                        g,
+                        p.flow,
+                        p.w_shape[si],
+                        &layers,
+                        &aggregator,
+                    ));
+                }
+                labels.push(label.clone());
+            }
+
+            if cfg.use_randomized_exploration {
+                let layers = explorer.layered_neighbors(
+                    v,
+                    cfg.exploration_depth,
+                    cfg.fan_out,
+                    cfg.max_layer,
+                    rng,
+                );
+                if layers.len() > 1 {
+                    rows.push(flow_embedding(
+                        g,
+                        p.flow,
+                        p.w_rand,
+                        &layers,
+                        &aggregator,
+                    ));
+                    labels.push("random".to_string());
+                }
+            }
+
+            if rows.is_empty() {
+                // Isolated node or no applicable scheme: self flow.
+                let layers = vec![vec![v]];
+                rows.push(flow_embedding(
+                    g,
+                    p.flow,
+                    p.w_self,
+                    &layers,
+                    &aggregator,
+                ));
+                labels.push("self".to_string());
+            }
+
+            let h = g.concat_rows(&rows); // F×d_h  (Eq. 5)
+            let pooled = if cfg.use_metapath_attention {
+                let (h_hat, attn) = self_attention(g, h, p.mq, p.mk, p.mv); // Eq. 6
+                if collect_attention {
+                    // Mean attention mass received per flow (column means).
+                    let a = g.value(attn);
+                    let mut obs = Vec::with_capacity(labels.len());
+                    for (c, label) in labels.iter().enumerate() {
+                        let mass: f32 =
+                            (0..a.rows()).map(|rr| a[(rr, c)]).sum::<f32>() / a.rows() as f32;
+                        obs.push((label.clone(), mass as f64));
+                    }
+                    attn_obs.push(obs);
+                }
+                g.mean_rows(h_hat) // Eq. 7
+            } else {
+                if collect_attention {
+                    attn_obs.push(Vec::new());
+                }
+                g.mean_rows(h)
+            };
+            rel_rows.push(pooled);
+        }
+
+        let u = g.concat_rows(&rel_rows); // L×d_k  (Eq. 8)
+        let u_hat = if cfg.use_relationship_attention {
+            self_attention(g, u, p.rq, p.rk, p.rv).0 // Eq. 9
+        } else {
+            u
+        };
+
+        let base = g.gather(p.base, &[v.0]);
+        let e_stars = graph
+            .schema()
+            .relations()
+            .map(|r| {
+                // Eq. 10: e*_{v,r} = e_v + e_{v,r} · W_r
+                let row = g.slice_rows(u_hat, r.index(), r.index() + 1);
+                let w = g.param(p.w_out[r.index()]);
+                let proj = g.matmul(row, w);
+                g.add(base, proj)
+            })
+            .collect();
+        (e_stars, attn_obs)
+    }
+
+    /// Full-graph inference: per-relation embedding tables, plus the
+    /// averaged attention profile.
+    fn full_inference(
+        params: &ParamStore,
+        p: &Params,
+        ctx: &ForwardCtx<'_>,
+        rng: &mut StdRng,
+    ) -> (Vec<Tensor>, AttentionProfile) {
+        let graph = ctx.graph;
+        let d_m = ctx.config.common.dim;
+        let num_rel = graph.schema().num_relations();
+        let mut tables = vec![Tensor::zeros(graph.num_nodes(), d_m); num_rel];
+        // label → (mass sum, count), per relation.
+        let mut acc: Vec<HashMap<String, (f64, usize)>> = vec![HashMap::new(); num_rel];
+
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        for chunk in nodes.chunks(BATCH) {
+            let mut g = Graph::new(params);
+            for &v in chunk {
+                let (e_stars, attn) =
+                    Self::forward_node(&mut g, p, ctx, v, rng, true);
+                for (ri, e) in e_stars.iter().enumerate() {
+                    tables[ri].set_row(v.index(), g.value(*e).row(0));
+                }
+                for (ri, obs) in attn.iter().enumerate() {
+                    for (label, mass) in obs {
+                        let entry = acc[ri].entry(label.clone()).or_insert((0.0, 0));
+                        entry.0 += mass;
+                        entry.1 += 1;
+                    }
+                }
+            }
+        }
+
+        let attention = acc
+            .into_iter()
+            .map(|m| {
+                let mut rows: Vec<(String, f64)> = m
+                    .into_iter()
+                    .map(|(label, (sum, count))| (label, sum / count.max(1) as f64))
+                    .collect();
+                rows.sort_by(|a, b| a.0.cmp(&b.0));
+                rows
+            })
+            .collect();
+        (tables, attention)
+    }
+}
+
+impl LinkPredictor for HybridGnn {
+    fn name(&self) -> &'static str {
+        "HybridGNN"
+    }
+
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+        let graph = data.graph;
+        let cfg = self.config.clone();
+        let common = &cfg.common;
+
+        // Label shapes like "user-item-user" from schema names.
+        let shapes: Vec<(Vec<NodeTypeId>, String)> = data
+            .metapath_shapes
+            .iter()
+            .map(|shape| {
+                let label = shape
+                    .iter()
+                    .map(|&t| graph.schema().node_type_name(t))
+                    .collect::<Vec<_>>()
+                    .join("-");
+                (shape.clone(), label)
+            })
+            .collect();
+
+        let (mut params, p) = Self::init_params(graph, &cfg, shapes.len(), rng);
+        let ctx = ForwardCtx {
+            graph,
+            config: &cfg,
+            shapes: &shapes,
+        };
+        let mut opt = Adam::new(common.lr.min(0.01));
+        let negatives = NegativeSampler::new(graph);
+
+        let pair_budget = mhg_models::pair_budget(graph.num_edges());
+        let mut stopper = EarlyStopper::new(common.patience);
+        let mut report = TrainReport::default();
+
+        for epoch in 0..common.epochs {
+            // Metapath-based training walks per relation (§III-E). These
+            // same walks drive the aggregation sampling statistics.
+            let mut tagged: Vec<(Pair, RelationId)> = Vec::new();
+            for r in graph.schema().relations() {
+                for (shape, _) in &shapes {
+                    let scheme = MetapathScheme::intra(shape.clone(), r);
+                    let walker = MetapathWalker::new(graph, scheme);
+                    for &start in graph.nodes_of_type(shape[0]) {
+                        if graph.degree(start, r) == 0 {
+                            continue;
+                        }
+                        for _ in 0..common.walks_per_node.min(3) {
+                            let walk = walker.walk(start, common.walk_length, rng);
+                            for pair in pairs_from_walk(&walk, common.window) {
+                                tagged.push((pair, r));
+                            }
+                        }
+                    }
+                }
+            }
+            tagged.shuffle(rng);
+            tagged.truncate(pair_budget);
+
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in tagged.chunks(BATCH) {
+                let mut g = Graph::new(&params);
+                // One forward per distinct center in the chunk.
+                let mut center_cache: HashMap<NodeId, Vec<Var>> = HashMap::new();
+                let mut lefts: Vec<Var> = Vec::new();
+                let mut targets: Vec<u32> = Vec::new();
+                let mut labels: Vec<f32> = Vec::new();
+                for &(pair, r) in chunk {
+                    let e_stars = center_cache.entry(pair.center).or_insert_with(|| {
+                        Self::forward_node(&mut g, &p, &ctx, pair.center, rng, false).0
+                    });
+                    let e = e_stars[r.index()];
+                    let ty = graph.node_type(pair.context);
+                    lefts.push(e);
+                    targets.push(pair.context.0);
+                    labels.push(1.0);
+                    for neg in
+                        negatives.sample_many(ty, pair.context, common.negatives, rng)
+                    {
+                        lefts.push(e);
+                        targets.push(neg.0);
+                        labels.push(-1.0);
+                    }
+                }
+                let left = g.concat_rows(&lefts);
+                let right = g.gather(p.ctx, &targets);
+                let scores = g.row_dot(left, right);
+                let loss = g.logistic_loss(scores, &labels);
+                loss_sum += g.scalar(loss) as f64;
+                batches += 1;
+                let grads = g.backward(loss);
+                opt.step(&mut params, &grads);
+            }
+
+            report.epochs_run = epoch + 1;
+            report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
+
+            let (tables, attention) = Self::full_inference(&params, &p, &ctx, rng);
+            let snapshot = EmbeddingScores::per_relation(tables)
+                .with_context(params.value(p.ctx).clone());
+            let auc = mhg_models::val_auc(&snapshot, data.val);
+            match stopper.update(auc) {
+                StopDecision::Improved => {
+                    self.scores = snapshot;
+                    self.attention = attention;
+                }
+                StopDecision::Continue => {}
+                StopDecision::Stop => break,
+            }
+        }
+        if !self.scores.is_ready() {
+            let (tables, attention) = Self::full_inference(&params, &p, &ctx, rng);
+            self.scores =
+                EmbeddingScores::per_relation(tables).with_context(params.value(p.ctx).clone());
+            self.attention = attention;
+        }
+        report.best_val_auc = stopper.best();
+        report
+    }
+
+    fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
+        self.scores.score(u, v, r)
+    }
+}

@@ -1,0 +1,82 @@
+//! Attention building blocks shared by HAN, MAGNN and GATNE.
+
+use mhg_autograd::{Graph, ParamId, Var};
+
+/// Scaled dot-product attention pooling: scores `keys` (n × d) against a
+/// single `query` (1 × d), softmax-normalises and returns the weighted sum
+/// (1 × d).
+pub(crate) fn dot_attention_pool(g: &mut Graph<'_>, query: Var, keys: Var) -> Var {
+    let d = g.value(query).cols() as f32;
+    let qt = g.transpose(query); // d×1
+    let logits = g.matmul(keys, qt); // n×1
+    let scaled = g.scale(logits, 1.0 / d.sqrt());
+    let row = g.transpose(scaled); // 1×n
+    let attn = g.softmax_rows(row); // 1×n
+    g.matmul(attn, keys) // 1×d
+}
+
+/// Semantic-level attention (HAN-style): given stacked per-scheme summaries
+/// `z` (S × d), computes `β = softmax(q^T tanh(z·W + b))` and returns the
+/// β-weighted sum (1 × d), plus the attention row (1 × S).
+pub(crate) fn semantic_attention(
+    g: &mut Graph<'_>,
+    z: Var,
+    w: ParamId,
+    b: ParamId,
+    q: ParamId,
+) -> (Var, Var) {
+    let wv = g.param(w);
+    let bv = g.param(b);
+    let qv = g.param(q);
+    let proj = g.matmul(z, wv); // S×ds
+    let shifted = g.add_broadcast_row(proj, bv);
+    let t = g.tanh(shifted);
+    let scores = g.matmul(t, qv); // S×1
+    let row = g.transpose(scores); // 1×S
+    let attn = g.softmax_rows(row); // 1×S
+    let pooled = g.matmul(attn, z); // 1×d
+    (pooled, attn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhg_autograd::ParamStore;
+    use mhg_tensor::{InitKind, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dot_attention_prefers_aligned_keys() {
+        let params = ParamStore::new();
+        let mut g = Graph::new(&params);
+        let query = g.constant(Tensor::from_rows(&[&[1.0, 0.0]]));
+        // Key 0 aligned with the query, key 1 orthogonal.
+        let keys = g.constant(Tensor::from_rows(&[&[10.0, 0.0], &[0.0, 10.0]]));
+        let pooled = dot_attention_pool(&mut g, query, keys);
+        let v = g.value(pooled);
+        assert!(v[(0, 0)] > v[(0, 1)], "pooled {v:?}");
+    }
+
+    #[test]
+    fn semantic_attention_is_convex_combination() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = ParamStore::new();
+        let w = params.register("w", InitKind::XavierUniform.init(3, 4, &mut rng));
+        let b = params.register("b", Tensor::zeros(1, 4));
+        let q = params.register("q", InitKind::XavierUniform.init(4, 1, &mut rng));
+        let mut g = Graph::new(&params);
+        let z = g.constant(Tensor::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+        ]));
+        let (pooled, attn) = semantic_attention(&mut g, z, w, b, q);
+        let a = g.value(attn);
+        let sum: f32 = a.row(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        let p = g.value(pooled);
+        // Convex combination of one-hot rows: entries in [0,1], sum 1.
+        let psum: f32 = p.row(0).iter().sum();
+        assert!((psum - 1.0).abs() < 1e-5, "{p:?}");
+    }
+}

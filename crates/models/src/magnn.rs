@@ -1,0 +1,320 @@
+//! MAGNN baseline (Fu et al., WWW 2020): metapath aggregated GNN.
+//!
+//! Differs from HAN by encoding whole metapath *instances* (including the
+//! intermediate nodes HAN discards): intra-metapath aggregation pools
+//! sampled instance encodings with attention against the target node, then
+//! inter-metapath (semantic) attention combines schemes. The instance
+//! encoder is the mean of the node embeddings along the instance — the
+//! mean-encoder variant of the original paper (its relational-rotation
+//! encoder changes constants, not the comparison the tables make).
+
+use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
+use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, RelationId};
+use mhg_sampling::NegativeSampler;
+use mhg_tensor::{InitKind, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::attention::{dot_attention_pool, semantic_attention};
+use crate::common::{
+    val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision,
+    TrainReport,
+};
+
+const INSTANCES_PER_SCHEME: usize = 5;
+const BATCH: usize = 96;
+
+/// The MAGNN baseline.
+pub struct Magnn {
+    config: CommonConfig,
+    scores: EmbeddingScores,
+}
+
+struct MagnnParams {
+    emb: ParamId,
+    w_scheme: Vec<ParamId>,
+    w_sem: ParamId,
+    b_sem: ParamId,
+    q_sem: ParamId,
+}
+
+/// Samples one complete metapath instance starting at `v`, or `None` if the
+/// walk gets stuck or `v` has the wrong type.
+fn sample_instance<R: Rng + ?Sized>(
+    graph: &MultiplexGraph,
+    scheme: &MetapathScheme,
+    v: NodeId,
+    rng: &mut R,
+) -> Option<Vec<NodeId>> {
+    if graph.node_type(v) != scheme.source_type() {
+        return None;
+    }
+    let mut path = Vec::with_capacity(scheme.len() + 1);
+    path.push(v);
+    let mut current = v;
+    for (&r, &want) in scheme.relations().iter().zip(&scheme.node_types()[1..]) {
+        let candidates: Vec<NodeId> = graph
+            .neighbors(current, r)
+            .iter()
+            .copied()
+            .filter(|&u| graph.node_type(u) == want)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        current = candidates[rng.gen_range(0..candidates.len())];
+        path.push(current);
+    }
+    Some(path)
+}
+
+impl Magnn {
+    /// Creates an untrained model.
+    pub fn new(config: CommonConfig) -> Self {
+        Self {
+            config,
+            scores: EmbeddingScores::default(),
+        }
+    }
+
+    fn schemes(data: &FitData<'_>) -> Vec<MetapathScheme> {
+        let mut out = Vec::new();
+        for shape in data.metapath_shapes {
+            for r in data.graph.schema().relations() {
+                out.push(MetapathScheme::intra(shape.clone(), r));
+            }
+        }
+        out
+    }
+
+    fn represent_node(
+        g: &mut Graph<'_>,
+        p: &MagnnParams,
+        graph: &MultiplexGraph,
+        schemes: &[MetapathScheme],
+        v: NodeId,
+        rng: &mut StdRng,
+    ) -> Var {
+        let mut z_rows: Vec<Var> = Vec::with_capacity(schemes.len() + 1);
+
+        for (si, scheme) in schemes.iter().enumerate() {
+            // Encode each sampled instance as the mean of its node
+            // embeddings (intermediate nodes included — MAGNN's point).
+            let mut instance_rows: Vec<Var> = Vec::new();
+            for _ in 0..INSTANCES_PER_SCHEME {
+                let Some(path) = sample_instance(graph, scheme, v, rng) else {
+                    continue;
+                };
+                let ids: Vec<u32> = path.iter().map(|n| n.0).collect();
+                let gathered = g.gather(p.emb, &ids);
+                instance_rows.push(g.mean_rows(gathered));
+            }
+            if instance_rows.is_empty() {
+                continue;
+            }
+            let w = g.param(p.w_scheme[si]);
+            let instances = g.concat_rows(&instance_rows);
+            let keys = g.matmul(instances, w);
+            let self_emb = g.gather(p.emb, &[v.0]);
+            let query = g.matmul(self_emb, w);
+            z_rows.push(dot_attention_pool(g, query, keys));
+        }
+
+        // Projected self row guarantees a non-empty stack.
+        {
+            let w = g.param(*p.w_scheme.last().unwrap());
+            let self_emb = g.gather(p.emb, &[v.0]);
+            z_rows.push(g.matmul(self_emb, w));
+        }
+
+        let z = g.concat_rows(&z_rows);
+        let (pooled, _) = semantic_attention(g, z, p.w_sem, p.b_sem, p.q_sem);
+        pooled
+    }
+
+    fn represent_batch(
+        g: &mut Graph<'_>,
+        p: &MagnnParams,
+        graph: &MultiplexGraph,
+        schemes: &[MetapathScheme],
+        nodes: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Var {
+        let rows: Vec<Var> = nodes
+            .iter()
+            .map(|&v| Self::represent_node(g, p, graph, schemes, v, rng))
+            .collect();
+        g.concat_rows(&rows)
+    }
+
+    fn full_inference(
+        params: &ParamStore,
+        p: &MagnnParams,
+        graph: &MultiplexGraph,
+        schemes: &[MetapathScheme],
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let dim = params.value(p.emb).cols();
+        let mut out = Tensor::zeros(nodes.len(), dim);
+        for (ci, chunk) in nodes.chunks(BATCH).enumerate() {
+            let mut g = Graph::new(params);
+            let rep = Self::represent_batch(&mut g, p, graph, schemes, chunk, rng);
+            for (i, row) in g.value(rep).rows_iter().enumerate() {
+                out.set_row(ci * BATCH + i, row);
+            }
+        }
+        out
+    }
+}
+
+impl LinkPredictor for Magnn {
+    fn name(&self) -> &'static str {
+        "MAGNN"
+    }
+
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+        let graph = data.graph;
+        let cfg = &self.config;
+        let dim = cfg.dim;
+        let schemes = Self::schemes(data);
+        let ds = (dim / 2).max(8);
+
+        let mut params = ParamStore::new();
+        let p = MagnnParams {
+            emb: params.register(
+                "emb",
+                InitKind::Uniform { limit: 0.5 / dim as f32 }
+                    .init(graph.num_nodes(), dim, rng),
+            ),
+            w_scheme: (0..=schemes.len())
+                .map(|i| {
+                    params.register(format!("w_p{i}"), InitKind::XavierUniform.init(dim, dim, rng))
+                })
+                .collect(),
+            w_sem: params.register("w_sem", InitKind::XavierUniform.init(dim, ds, rng)),
+            b_sem: params.register("b_sem", Tensor::zeros(1, ds)),
+            q_sem: params.register("q_sem", InitKind::XavierUniform.init(ds, 1, rng)),
+        };
+        let mut opt = Adam::new(cfg.lr.min(0.01));
+        let negatives = NegativeSampler::new(graph);
+
+        let mut edges: Vec<(NodeId, NodeId)> = graph
+            .schema()
+            .relations()
+            .flat_map(|r| graph.edges_in(r).collect::<Vec<_>>())
+            .collect();
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut report = TrainReport::default();
+
+        for epoch in 0..cfg.epochs {
+            edges.shuffle(rng);
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in edges.chunks(BATCH) {
+                let mut lefts = Vec::new();
+                let mut rights = Vec::new();
+                let mut labels = Vec::new();
+                for &(u, v) in chunk {
+                    lefts.push(u);
+                    rights.push(v);
+                    labels.push(1.0);
+                    let ty = graph.node_type(v);
+                    for neg in negatives.sample_many(ty, v, cfg.negatives.min(2), rng) {
+                        lefts.push(u);
+                        rights.push(neg);
+                        labels.push(-1.0);
+                    }
+                }
+                let mut g = Graph::new(&params);
+                let hl = Self::represent_batch(&mut g, &p, graph, &schemes, &lefts, rng);
+                let hr = Self::represent_batch(&mut g, &p, graph, &schemes, &rights, rng);
+                let scores = g.row_dot(hl, hr);
+                let loss = g.logistic_loss(scores, &labels);
+                loss_sum += g.scalar(loss) as f64;
+                batches += 1;
+                let grads = g.backward(loss);
+                opt.step(&mut params, &grads);
+            }
+
+            report.epochs_run = epoch + 1;
+            report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
+
+            let snapshot = EmbeddingScores::shared(Self::full_inference(
+                &params, &p, graph, &schemes, rng,
+            ));
+            let auc = val_auc(&snapshot, data.val);
+            match stopper.update(auc) {
+                StopDecision::Improved => self.scores = snapshot,
+                StopDecision::Continue => {}
+                StopDecision::Stop => break,
+            }
+        }
+        if !self.scores.is_ready() {
+            self.scores = EmbeddingScores::shared(Self::full_inference(
+                &params, &p, graph, &schemes, rng,
+            ));
+        }
+        report.best_val_auc = stopper.best();
+        report
+    }
+
+    fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
+        self.scores.score(u, v, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+    use mhg_datasets::{DatasetKind, EdgeSplit};
+    use rand::SeedableRng;
+
+    #[test]
+    fn instance_sampling_follows_scheme() {
+        let dataset = DatasetKind::Imdb.generate(0.02, 18);
+        let g = &dataset.graph;
+        let s = g.schema();
+        let r = s.relation_id("to").unwrap();
+        let scheme = MetapathScheme::intra(dataset.metapath_shapes[0].clone(), r);
+        let mut rng = StdRng::seed_from_u64(19);
+        let movie = scheme.source_type();
+        let start = g.nodes_of_type(movie)[0];
+        let mut found = false;
+        for _ in 0..50 {
+            if let Some(path) = sample_instance(g, &scheme, start, &mut rng) {
+                assert_eq!(path.len(), scheme.len() + 1);
+                assert!(scheme.matches_instance(g, &path));
+                found = true;
+            }
+        }
+        // The first movie may be isolated at tiny scale; only assert shape
+        // when instances exist.
+        let _ = found;
+    }
+
+    #[test]
+    fn beats_random_on_heterogeneous_graph() {
+        let dataset = DatasetKind::Imdb.generate(0.025, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
+        let mut cfg = CommonConfig::fast();
+        cfg.epochs = 12;
+        let mut model = Magnn::new(cfg);
+        let data = FitData {
+            graph: &split.train_graph,
+            metapath_shapes: &dataset.metapath_shapes,
+            val: &split.val,
+        };
+        model.fit(&data, &mut rng);
+        let metrics = evaluate(&model, &split.test);
+        assert!(
+            metrics.roc_auc > 0.55,
+            "MAGNN failed to learn: auc {}",
+            metrics.roc_auc
+        );
+    }
+}

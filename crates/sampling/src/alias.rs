@@ -1,0 +1,150 @@
+//! Walker's alias method for O(1) categorical sampling.
+//!
+//! Negative sampling draws millions of nodes from the unigram^0.75
+//! distribution per epoch; the alias table makes each draw two random
+//! numbers and one comparison.
+
+use rand::Rng;
+
+/// An alias table over `n` categories.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/NaN value, or sums
+    /// to zero.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w as f64 * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: give them probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        Self {
+            prob: prob.into_iter().map(|p| p as f32).collect(),
+            alias,
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f32>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let freq = empirical(&t, 40_000, 1);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.02, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let t = AliasTable::new(&[1.0, 3.0, 6.0]);
+        let freq = empirical(&t, 60_000, 2);
+        assert!((freq[0] - 0.1).abs() < 0.02);
+        assert!((freq[1] - 0.3).abs() < 0.02);
+        assert!((freq[2] - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let freq = empirical(&t, 20_000, 3);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+    }
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn all_zero_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Sampling machinery for the HybridGNN reproduction.
+//!
+//! Everything the paper's training pipeline draws at random lives here:
+//!
+//! * [`AliasTable`] — O(1) categorical sampling.
+//! * [`UniformWalker`] / [`Node2VecWalker`] / [`MetapathWalker`] — the walk
+//!   generators behind DeepWalk, node2vec and the paper's metapath-based
+//!   training walks (§III-E).
+//! * [`InterRelationshipExplorer`] — the paper's randomized two-phase
+//!   inter-relationship exploration (§III-B, Eq. 1–2).
+//! * [`MetapathNeighborSampler`] / [`UniformNeighborSampler`] — layered
+//!   `N^k_P(v)` sets consumed by the hybrid aggregation flows (Eq. 3–4).
+//! * [`NegativeSampler`] — heterogeneous (type-aware) unigram^0.75 negative
+//!   sampling.
+//! * [`pairs_from_walk`] — windowed skip-gram pair generation.
+
+mod alias;
+mod explore;
+mod negative;
+mod neighbors;
+mod pairs;
+mod walks;
+
+pub use alias::AliasTable;
+pub use explore::InterRelationshipExplorer;
+pub use negative::{NegativeSampler, UNIGRAM_POWER};
+pub use neighbors::{LayeredNeighbors, MetapathNeighborSampler, UniformNeighborSampler};
+pub use pairs::{pairs_from_walk, pairs_from_walks, Pair};
+pub use walks::{MetapathWalker, Node2VecWalker, UniformWalker, Walk};

@@ -1,0 +1,179 @@
+//! Heterogeneous negative sampling (paper §III-E, following metapath2vec).
+//!
+//! Negatives for a context node are drawn from nodes *of the same type*,
+//! weighted by the standard unigram^0.75 distribution over total degree.
+//! Alias tables make each draw O(1).
+
+use rand::Rng;
+
+use mhg_graph::{MultiplexGraph, NodeId, NodeTypeId};
+
+use crate::alias::AliasTable;
+
+/// Degree exponent used by word2vec-style negative sampling.
+pub const UNIGRAM_POWER: f32 = 0.75;
+
+/// Type-aware negative sampler.
+pub struct NegativeSampler {
+    /// One alias table + node list per node type (None for empty types).
+    per_type: Vec<Option<(AliasTable, Vec<NodeId>)>>,
+}
+
+impl NegativeSampler {
+    /// Builds the per-type unigram^0.75 tables from a graph.
+    pub fn new(graph: &MultiplexGraph) -> Self {
+        let per_type = graph
+            .schema()
+            .node_types()
+            .map(|ty| {
+                let nodes: Vec<NodeId> = graph.nodes_of_type(ty).to_vec();
+                if nodes.is_empty() {
+                    return None;
+                }
+                let weights: Vec<f32> = nodes
+                    .iter()
+                    // +1 smooths isolated nodes so every node is sampleable.
+                    .map(|&v| ((graph.total_degree(v) + 1) as f32).powf(UNIGRAM_POWER))
+                    .collect();
+                Some((AliasTable::new(&weights), nodes))
+            })
+            .collect();
+        Self { per_type }
+    }
+
+    /// Draws one negative of type `ty`, avoiding `exclude` (best-effort: up
+    /// to 8 rejection attempts, then returns whatever was drawn last).
+    ///
+    /// Returns `None` if the type has no nodes.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        ty: NodeTypeId,
+        exclude: NodeId,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let (table, nodes) = self.per_type[ty.index()].as_ref()?;
+        let mut pick = nodes[table.sample(rng)];
+        for _ in 0..8 {
+            if pick != exclude {
+                break;
+            }
+            pick = nodes[table.sample(rng)];
+        }
+        Some(pick)
+    }
+
+    /// Draws `count` negatives of type `ty` avoiding `exclude`.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        ty: NodeTypeId,
+        exclude: NodeId,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        (0..count)
+            .filter_map(|_| self.sample(ty, exclude, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhg_graph::{GraphBuilder, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn two_type_graph() -> MultiplexGraph {
+        let mut schema = Schema::new();
+        let user = schema.add_node_type("user");
+        let item = schema.add_node_type("item");
+        let r = schema.add_relation("buy");
+        let mut b = GraphBuilder::new(schema);
+        let u0 = b.add_node(user);
+        let u1 = b.add_node(user);
+        let i0 = b.add_node(item);
+        let i1 = b.add_node(item);
+        let i2 = b.add_node(item);
+        b.add_edge(u0, i0, r);
+        b.add_edge(u0, i1, r);
+        b.add_edge(u0, i2, r);
+        b.add_edge(u1, i0, r);
+        b.build()
+    }
+
+    #[test]
+    fn negatives_have_requested_type() {
+        let g = two_type_graph();
+        let item = g.schema().node_type_id("item").unwrap();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let n = sampler.sample(item, NodeId(2), &mut rng).unwrap();
+            assert_eq!(g.node_type(n), item);
+        }
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let g = two_type_graph();
+        let user = g.schema().node_type_id("user").unwrap();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Only 2 users; excluding u0 should essentially always give u1.
+        let mut u1_count = 0;
+        for _ in 0..100 {
+            if sampler.sample(user, NodeId(0), &mut rng).unwrap() == NodeId(1) {
+                u1_count += 1;
+            }
+        }
+        assert!(u1_count >= 99, "exclusion failed: {u1_count}");
+    }
+
+    #[test]
+    fn degree_bias_present() {
+        // i0 has degree 2, i1/i2 degree 1 → i0 should be sampled most.
+        let g = two_type_graph();
+        let item = g.schema().node_type_id("item").unwrap();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for _ in 0..30_000 {
+            // Exclude a user id that can never be drawn for items.
+            let n = sampler.sample(item, NodeId(0), &mut rng).unwrap();
+            *counts.entry(n.0).or_insert(0) += 1;
+        }
+        let c_i0 = counts[&2];
+        let c_i1 = counts[&3];
+        // Expected ratio (3^0.75 / 2^0.75) ≈ 1.36.
+        let ratio = c_i0 as f64 / c_i1 as f64;
+        assert!(
+            (1.2..1.55).contains(&ratio),
+            "degree bias off: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn sample_many_count() {
+        let g = two_type_graph();
+        let item = g.schema().node_type_id("item").unwrap();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let many = sampler.sample_many(item, NodeId(0), 7, &mut rng);
+        assert_eq!(many.len(), 7);
+    }
+
+    #[test]
+    fn empty_type_returns_none() {
+        let mut schema = Schema::new();
+        let a = schema.add_node_type("a");
+        let bt = schema.add_node_type("b"); // no nodes of this type
+        schema.add_relation("r");
+        let mut builder = GraphBuilder::new(schema);
+        builder.add_node(a);
+        let g = builder.build();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sampler.sample(bt, NodeId(0), &mut rng).is_none());
+    }
+}

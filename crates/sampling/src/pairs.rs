@@ -1,0 +1,100 @@
+//! Skip-gram training-pair generation.
+//!
+//! Given walks, emits `(center, context)` pairs where the context lies
+//! within a window of radius `δ` around the center (paper §III-E:
+//! `C(v_i) = {v_k | v_k ∈ S, |k−i| ≤ δ, k ≠ i}`).
+
+use mhg_graph::NodeId;
+
+/// A positive skip-gram training pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pair {
+    /// The center node `v_i`.
+    pub center: NodeId,
+    /// A context node from `C(v_i)`.
+    pub context: NodeId,
+}
+
+/// Emits all windowed pairs from one walk.
+pub fn pairs_from_walk(walk: &[NodeId], window: usize) -> Vec<Pair> {
+    let mut out = Vec::with_capacity(walk.len() * window.saturating_mul(2));
+    for (i, &center) in walk.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window).min(walk.len().saturating_sub(1));
+        for (k, &context) in walk.iter().enumerate().take(hi + 1).skip(lo) {
+            if k != i && context != center {
+                out.push(Pair { center, context });
+            }
+        }
+    }
+    out
+}
+
+/// Emits windowed pairs from many walks.
+pub fn pairs_from_walks<'a>(
+    walks: impl IntoIterator<Item = &'a Vec<NodeId>>,
+    window: usize,
+) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for walk in walks {
+        out.extend(pairs_from_walk(walk, window));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn window_one() {
+        let walk = vec![n(0), n(1), n(2)];
+        let pairs = pairs_from_walk(&walk, 1);
+        assert_eq!(
+            pairs,
+            vec![
+                Pair { center: n(0), context: n(1) },
+                Pair { center: n(1), context: n(0) },
+                Pair { center: n(1), context: n(2) },
+                Pair { center: n(2), context: n(1) },
+            ]
+        );
+    }
+
+    #[test]
+    fn window_covers_whole_walk() {
+        let walk = vec![n(0), n(1), n(2)];
+        let pairs = pairs_from_walk(&walk, 10);
+        // Every ordered pair (i, k≠i): 3·2 = 6.
+        assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn self_pairs_skipped_on_revisit() {
+        // Walks can revisit nodes; (v, v) pairs must be dropped.
+        let walk = vec![n(0), n(1), n(0)];
+        let pairs = pairs_from_walk(&walk, 2);
+        assert!(pairs.iter().all(|p| p.center != p.context));
+    }
+
+    #[test]
+    fn empty_and_singleton_walks() {
+        assert!(pairs_from_walk(&[], 3).is_empty());
+        assert!(pairs_from_walk(&[n(5)], 3).is_empty());
+    }
+
+    #[test]
+    fn multi_walk_concatenation() {
+        let walks = vec![vec![n(0), n(1)], vec![n(2), n(3)]];
+        let pairs = pairs_from_walks(&walks, 1);
+        assert_eq!(pairs.len(), 4);
+        // No cross-walk pairs.
+        assert!(!pairs
+            .iter()
+            .any(|p| (p.center.0 < 2) != (p.context.0 < 2)));
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for samplers: structural validity of every walk and
+//! layer under randomly generated multiplex graphs.
+
+use mhg_graph::{GraphBuilder, MetapathScheme, MultiplexGraph, NodeId, RelationId, Schema};
+use mhg_sampling::{
+    pairs_from_walk, AliasTable, InterRelationshipExplorer, MetapathNeighborSampler,
+    MetapathWalker, NegativeSampler, Node2VecWalker, UniformNeighborSampler, UniformWalker,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    users: usize,
+    items: usize,
+    edges: Vec<(usize, usize, usize)>,
+    num_relations: usize,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (2usize..6, 2usize..6, 1usize..4).prop_flat_map(|(users, items, num_relations)| {
+        proptest::collection::vec((0..users, 0..items, 0..num_relations), 1..25).prop_map(
+            move |edges| Spec {
+                users,
+                items,
+                edges,
+                num_relations,
+            },
+        )
+    })
+}
+
+fn build(s: &Spec) -> MultiplexGraph {
+    let mut schema = Schema::new();
+    let user = schema.add_node_type("user");
+    let item = schema.add_node_type("item");
+    for r in 0..s.num_relations {
+        schema.add_relation(&format!("r{r}"));
+    }
+    let mut b = GraphBuilder::new(schema);
+    b.add_nodes(user, s.users);
+    b.add_nodes(item, s.items);
+    for &(u, i, r) in &s.edges {
+        b.add_edge(
+            NodeId(u as u32),
+            NodeId((s.users + i) as u32),
+            RelationId(r as u16),
+        );
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn uniform_walks_follow_edges(s in spec(), seed in 0u64..1000) {
+        let g = build(&s);
+        let w = UniformWalker::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for start in g.nodes() {
+            let walk = w.walk(start, 10, &mut rng);
+            prop_assert_eq!(walk[0], start);
+            for pair in walk.windows(2) {
+                prop_assert!(g.has_any_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn node2vec_walks_follow_edges(s in spec(), seed in 0u64..1000,
+                                   p in 0.25f32..4.0, q in 0.25f32..4.0) {
+        let g = build(&s);
+        let w = Node2VecWalker::new(&g, p, q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walk = w.walk(NodeId(0), 12, &mut rng);
+        for pair in walk.windows(2) {
+            prop_assert!(g.has_any_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn metapath_walks_respect_scheme(s in spec(), seed in 0u64..1000) {
+        let g = build(&s);
+        let schema = g.schema();
+        let user = schema.node_type_id("user").unwrap();
+        let item = schema.node_type_id("item").unwrap();
+        let r = RelationId(0);
+        let scheme = MetapathScheme::intra(vec![user, item, user], r);
+        let walker = MetapathWalker::new(&g, scheme);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walk = walker.walk(NodeId(0), 9, &mut rng);
+        for (i, &v) in walk.iter().enumerate() {
+            let expect = if i % 2 == 0 { user } else { item };
+            prop_assert_eq!(g.node_type(v), expect);
+        }
+        for pair in walk.windows(2) {
+            prop_assert!(g.has_edge(pair[0], pair[1], r));
+        }
+    }
+
+    #[test]
+    fn exploration_steps_are_edges(s in spec(), seed in 0u64..1000) {
+        let g = build(&s);
+        let ex = InterRelationshipExplorer::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in g.nodes() {
+            if let Some((r, u)) = ex.step(v, &mut rng) {
+                prop_assert!(g.has_edge(v, u, r));
+            } else {
+                prop_assert_eq!(g.total_degree(v), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn exploration_layers_are_reachable(s in spec(), seed in 0u64..1000) {
+        let g = build(&s);
+        let ex = InterRelationshipExplorer::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = ex.layered_neighbors(NodeId(0), 3, 3, 12, &mut rng);
+        prop_assert_eq!(layers[0].clone(), vec![NodeId(0)]);
+        for window in layers.windows(2) {
+            // Every node in layer k+1 is adjacent (any relation) to some
+            // node in layer k.
+            for &n in &window[1] {
+                prop_assert!(
+                    window[0].iter().any(|&p| g.has_any_edge(p, n)),
+                    "unreachable node in layer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metapath_layers_type_correct(s in spec(), seed in 0u64..1000) {
+        let g = build(&s);
+        let schema = g.schema();
+        let user = schema.node_type_id("user").unwrap();
+        let item = schema.node_type_id("item").unwrap();
+        let scheme = MetapathScheme::intra(vec![user, item, user], RelationId(0));
+        let sampler = MetapathNeighborSampler::new(&g, 3, 12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sampler.sample(NodeId(0), &scheme, &mut rng);
+        for (k, layer) in layers.iter().enumerate() {
+            let expect = if k % 2 == 0 { user } else { item };
+            for &n in layer {
+                prop_assert_eq!(g.node_type(n), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_layers_bounded(s in spec(), seed in 0u64..1000,
+                              fan in 1usize..4, cap in 1usize..8) {
+        let g = build(&s);
+        let sampler = UniformNeighborSampler::new(&g, fan, cap);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sampler.sample(NodeId(0), 3, &mut rng);
+        for layer in &layers[1..] {
+            prop_assert!(layer.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn negatives_typed_correctly(s in spec(), seed in 0u64..1000) {
+        let g = build(&s);
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for ty in g.schema().node_types() {
+            if g.nodes_of_type(ty).is_empty() {
+                continue;
+            }
+            let exclude = g.nodes_of_type(ty)[0];
+            for n in sampler.sample_many(ty, exclude, 5, &mut rng) {
+                prop_assert_eq!(g.node_type(n), ty);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_window_invariant(walk_len in 0usize..12, window in 1usize..5) {
+        let walk: Vec<NodeId> = (0..walk_len as u32).map(NodeId).collect();
+        let pairs = pairs_from_walk(&walk, window);
+        for p in &pairs {
+            let i = p.center.0 as i64;
+            let k = p.context.0 as i64;
+            prop_assert!(i != k && (i - k).unsigned_abs() as usize <= window);
+        }
+        // Pair count formula for distinct-node walks.
+        let expected: usize = (0..walk_len)
+            .map(|i| {
+                let lo = i.saturating_sub(window);
+                let hi = (i + window).min(walk_len.saturating_sub(1));
+                hi - lo + usize::from(walk_len > 0) - 1
+            })
+            .sum();
+        prop_assert_eq!(pairs.len(), expected);
+    }
+
+    #[test]
+    fn alias_table_total_mass(weights in proptest::collection::vec(0.0f32..10.0, 1..20)) {
+        prop_assume!(weights.iter().sum::<f32>() > 0.1);
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let i = t.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight category {i}");
+        }
+    }
+}

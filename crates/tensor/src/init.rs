@@ -1,0 +1,129 @@
+//! Parameter initialisation schemes.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Initialisation scheme for parameter tensors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InitKind {
+    /// All zeros (biases).
+    Zeros,
+    /// Uniform on `[-limit, limit]`.
+    Uniform {
+        /// Half-width of the interval.
+        limit: f32,
+    },
+    /// Xavier/Glorot uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Gaussian with the given standard deviation (Box–Muller).
+    Normal {
+        /// Standard deviation.
+        std: f32,
+    },
+}
+
+impl InitKind {
+    /// Creates a `rows × cols` tensor initialised with this scheme.
+    pub fn init<R: Rng + ?Sized>(self, rows: usize, cols: usize, rng: &mut R) -> Tensor {
+        match self {
+            InitKind::Zeros => Tensor::zeros(rows, cols),
+            InitKind::Uniform { limit } => {
+                sample(rows, cols, || rng.gen_range(-limit..=limit))
+            }
+            InitKind::XavierUniform => xavier_uniform(rows, cols, rng),
+            InitKind::Normal { std } => {
+                let mut gauss = GaussSource::default();
+                sample(rows, cols, || gauss.next(rng) * std)
+            }
+        }
+    }
+}
+
+fn sample(rows: usize, cols: usize, mut f: impl FnMut() -> f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| f()).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform initialisation treating `rows` as fan-in and `cols`
+/// as fan-out (the convention for a `fan_in × fan_out` weight matrix applied
+/// as `x · W`).
+pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    sample(rows, cols, || rng.gen_range(-limit..=limit))
+}
+
+/// Box–Muller standard-normal source that caches the spare variate.
+#[derive(Default)]
+struct GaussSource {
+    spare: Option<f32>,
+}
+
+impl GaussSource {
+    fn next<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f32 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Draw from the open interval to avoid ln(0).
+        let u1: f32 = loop {
+            let v = rng.gen::<f32>();
+            if v > f32::MIN_POSITIVE {
+                break v;
+            }
+        };
+        let u2: f32 = rng.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * std::f32::consts::PI * u2).sin_cos();
+        self.spare = Some(mag * s);
+        mag * c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_init() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = InitKind::Zeros.init(3, 3, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = InitKind::Uniform { limit: 0.25 }.init(50, 50, &mut rng);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= 0.25));
+        // Not degenerate.
+        assert!(t.as_slice().iter().any(|v| v.abs() > 0.01));
+    }
+
+    #[test]
+    fn xavier_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(10, 20, &mut rng);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = InitKind::Normal { std: 2.0 }.init(100, 100, &mut rng);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
+            / (t.len() - 1) as f32;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = InitKind::XavierUniform.init(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = InitKind::XavierUniform.init(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

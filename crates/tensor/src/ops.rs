@@ -1,0 +1,410 @@
+//! Dense kernels: matmul, elementwise arithmetic, reductions, softmax.
+//!
+//! These are the only numeric kernels the whole reproduction needs. They are
+//! deliberately BLAS-free: matrix sizes in the paper's model are small
+//! (hidden dims 2–512, batch 2048), so a cache-friendly `ikj` loop with the
+//! inner loop auto-vectorised by LLVM is more than adequate and keeps the
+//! build hermetic.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses `ikj` loop order so the innermost loop walks both the output row
+    /// and the `rhs` row contiguously (auto-vectorises well).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul shape mismatch: {} · {}",
+            self.shape(),
+            rhs.shape()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Tensor::zeros(m, n);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let c = out.as_mut_slice();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (c_v, b_v) in c_row.iter_mut().zip(b_row) {
+                    *c_v += a_ik * b_v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transposed(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_transposed shape mismatch: {} · {}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), rhs.rows());
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, out_v) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = &rhs.as_slice()[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (a_v, b_v) in a_row.iter().zip(b_row) {
+                    acc += a_v * b_v;
+                }
+                *out_v = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transposed tensor.
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = Tensor::zeros(n, m);
+        for i in 0..m {
+            for j in 0..n {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Elementwise binary op into a fresh tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// Elementwise unary op into a fresh tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.as_slice().iter().map(|&a| f(a)).collect();
+        Tensor::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|a| a * s)
+    }
+
+    /// In-place `self += alpha * rhs` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds a `1 × cols` row vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias` is `1 × self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), self.cols(), "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (o, b) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column-wise mean: returns a `1 × cols` tensor.
+    pub fn mean_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols());
+        if self.rows() == 0 {
+            return out;
+        }
+        for row in self.rows_iter() {
+            for (o, v) in out.row_mut(0).iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / self.rows() as f32;
+        for o in out.as_mut_slice() {
+            *o *= inv;
+        }
+        out
+    }
+
+    /// Dot product of row `i` of `self` with row `j` of `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn row_dot(&self, i: usize, rhs: &Tensor, j: usize) -> f32 {
+        assert_eq!(self.cols(), rhs.cols(), "row_dot width mismatch");
+        self.row(i)
+            .iter()
+            .zip(rhs.row(j))
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// Numerically-stable row-wise softmax.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        out
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(crate::ops::sigmoid_scalar)
+    }
+
+    /// Stacks tensors vertically (all must share a width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or widths differ.
+    pub fn vstack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vstack of zero tensors");
+        let cols = parts[0].cols();
+        let rows: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols(), cols, "vstack width mismatch");
+            data.extend_from_slice(p.as_slice());
+        }
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Gathers rows by index into a fresh tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(indices.len(), self.cols());
+        for (r, &idx) in indices.iter().enumerate() {
+            out.set_row(r, self.row(idx));
+        }
+        out
+    }
+}
+
+/// Numerically-stable scalar logistic sigmoid.
+#[inline]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `ln(sigmoid(x))` computed without overflow for large negative `x`.
+#[inline]
+pub fn log_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        -(1.0 + (-x).exp()).ln()
+    } else {
+        x - (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_transposed_agrees_with_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 0.5, -1.0]]);
+        let via_t = a.matmul(&b.transpose());
+        let direct = a.matmul_transposed(&b);
+        assert!(via_t.max_abs_diff(&direct) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b), Tensor::from_rows(&[&[4.0, 6.0]]));
+        assert_eq!(a.sub(&b), Tensor::from_rows(&[&[-2.0, -2.0]]));
+        assert_eq!(a.mul(&b), Tensor::from_rows(&[&[3.0, 8.0]]));
+        assert_eq!(a.scale(2.0), Tensor::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_rows(&[&[1.0, 1.0]]);
+        let b = Tensor::from_rows(&[&[2.0, 3.0]]);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Tensor::from_rows(&[&[2.0, 2.5]]));
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let a = Tensor::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let bias = Tensor::row_vector(&[10.0, 20.0]);
+        let out = a.add_row_broadcast(&bias);
+        assert_eq!(out, Tensor::from_rows(&[&[10.0, 20.0], &[11.0, 21.0]]));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(approx(a.sum(), 10.0));
+        assert!(approx(a.mean(), 2.5));
+        let mr = a.mean_rows();
+        assert!(approx(mr[(0, 0)], 2.0));
+        assert!(approx(mr[(0, 1)], 3.0));
+        assert!(approx(a.norm_sq(), 30.0));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!(approx(sum, 1.0));
+        }
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+        // Large uniform logits must not overflow.
+        assert!(approx(s[(1, 0)], 1.0 / 3.0));
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!(approx(sigmoid_scalar(0.0), 0.5));
+        assert!(sigmoid_scalar(100.0) > 0.999);
+        assert!(sigmoid_scalar(-100.0) < 1e-4);
+        assert!(sigmoid_scalar(-1000.0).is_finite());
+        assert!(log_sigmoid(-1000.0).is_finite());
+        assert!(approx(log_sigmoid(0.0), (0.5f32).ln()));
+    }
+
+    #[test]
+    fn vstack_and_gather() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let s = Tensor::vstack(&[&a, &b]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+        let g = s.gather_rows(&[2, 0]);
+        assert_eq!(g, Tensor::from_rows(&[&[5.0, 6.0], &[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn row_dot() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(approx(a.row_dot(0, &a, 1), 2.0));
+    }
+}

@@ -1,0 +1,84 @@
+//! Shape type for 2-D tensors.
+
+use std::fmt;
+
+/// The shape of a 2-D tensor: `rows × cols`.
+///
+/// Kept deliberately minimal — the whole reproduction only ever needs
+/// matrices (and `1 × n` row vectors), so a full n-d shape type would be
+/// unjustified complexity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Creates a new shape.
+    #[inline]
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the shape contains no elements.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The transposed shape.
+    #[inline]
+    pub const fn transposed(&self) -> Self {
+        Self::new(self.cols, self.rows)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Self::new(rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Shape::new(3, 4).len(), 12);
+        assert!(Shape::new(0, 5).is_empty());
+        assert!(!Shape::new(1, 1).is_empty());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let s = Shape::new(2, 7);
+        assert_eq!(s.transposed().transposed(), s);
+        assert_eq!(s.transposed(), Shape::new(7, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(2, 3).to_string(), "2x3");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the dense kernels.
+
+use mhg_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a tensor with the given shape and bounded values.
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+/// Strategy: small dims in `1..=6`.
+fn dim() -> impl Strategy<Value = usize> {
+    1usize..=6
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape() && a.max_abs_diff(b) <= tol
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative((m, k, n, p) in (dim(), dim(), dim(), dim()),
+                          seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use mhg_tensor::InitKind;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = InitKind::Uniform { limit: 2.0 }.init(m, k, &mut rng);
+        let b = InitKind::Uniform { limit: 2.0 }.init(k, n, &mut rng);
+        let c = InitKind::Uniform { limit: 2.0 }.init(n, p, &mut rng);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(close(&left, &right, 1e-3 * (k * n) as f32));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((m, k, n) in (dim(), dim(), dim()), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use mhg_tensor::InitKind;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = InitKind::Uniform { limit: 2.0 }.init(m, k, &mut rng);
+        let b = InitKind::Uniform { limit: 2.0 }.init(k, n, &mut rng);
+        let c = InitKind::Uniform { limit: 2.0 }.init(k, n, &mut rng);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(close(&left, &right, 1e-3 * k as f32));
+    }
+
+    #[test]
+    fn transpose_of_product((m, k, n) in (dim(), dim(), dim()), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use mhg_tensor::InitKind;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = InitKind::Uniform { limit: 2.0 }.init(m, k, &mut rng);
+        let b = InitKind::Uniform { limit: 2.0 }.init(k, n, &mut rng);
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(close(&left, &right, 1e-3 * k as f32));
+    }
+
+    #[test]
+    fn add_commutes(t in (dim(), dim()).prop_flat_map(|(r, c)| (tensor(r, c), tensor(r, c)))) {
+        let (a, b) = t;
+        prop_assert!(close(&a.add(&b), &b.add(&a), 0.0));
+    }
+
+    #[test]
+    fn scale_linear(t in (dim(), dim()).prop_flat_map(|(r, c)| tensor(r, c)),
+                    s in -3.0f32..3.0) {
+        let doubled = t.scale(s).scale(2.0);
+        let direct = t.scale(2.0 * s);
+        prop_assert!(close(&doubled, &direct, 1e-4));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in (dim(), dim()).prop_flat_map(|(r, c)| tensor(r, c))) {
+        let s = t.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(t in (dim(), dim()).prop_flat_map(|(r, c)| tensor(r, c)),
+                                      shift in -5.0f32..5.0) {
+        let shifted = t.map(|v| v + shift);
+        prop_assert!(close(&t.softmax_rows(), &shifted.softmax_rows(), 1e-4));
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry(x in -50.0f32..50.0) {
+        let s = mhg_tensor::sigmoid_scalar(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let anti = mhg_tensor::sigmoid_scalar(-x);
+        prop_assert!((s + anti - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive(x in -20.0f32..20.0) {
+        let stable = mhg_tensor::log_sigmoid(x);
+        let naive = mhg_tensor::sigmoid_scalar(x).ln();
+        prop_assert!((stable - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gather_then_vstack_roundtrip(t in (2usize..6, dim()).prop_flat_map(|(r, c)| tensor(r, c))) {
+        let all: Vec<usize> = (0..t.rows()).collect();
+        let g = t.gather_rows(&all);
+        prop_assert!(close(&g, &t, 0.0));
+    }
+
+    #[test]
+    fn mean_rows_of_uniform_matrix(v in -5.0f32..5.0, (r, c) in (dim(), dim())) {
+        let t = Tensor::full(r, c, v);
+        let m = t.mean_rows();
+        prop_assert!(m.row(0).iter().all(|x| (x - v).abs() < 1e-5));
+    }
+}

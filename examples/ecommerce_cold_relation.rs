@@ -1,0 +1,84 @@
+//! E-commerce cold-relation prediction: purchases are sparse, page-views
+//! plentiful. This example shows the paper's core claim in action — the
+//! randomized inter-relationship exploration lets HybridGNN predict the
+//! *sparse* relation from evidence in the *dense* ones, while the ablated
+//! model (`w/o randomized exploration`) cannot.
+//!
+//! ```sh
+//! cargo run --release --example ecommerce_cold_relation
+//! ```
+
+use hybridgnn_repro::datasets::{DatasetKind, EdgeSplit, LabeledEdge};
+use hybridgnn_repro::eval;
+use hybridgnn_repro::model::{HybridConfig, HybridGnn};
+use hybridgnn_repro::models::{FitData, LinkPredictor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = DatasetKind::Taobao.generate(0.03, 42);
+    let graph = &dataset.graph;
+    let schema = graph.schema();
+    let purchase = schema.relation_id("purchase").expect("purchase relation");
+
+    println!("edges per relation:");
+    for r in schema.relations() {
+        println!(
+            "  {:<14} {:>6}",
+            schema.relation_name(r),
+            graph.num_edges_in(r)
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let split = EdgeSplit::default_split(graph, &mut rng);
+    let purchase_test: Vec<LabeledEdge> = split
+        .test
+        .iter()
+        .filter(|e| e.relation == purchase)
+        .copied()
+        .collect();
+    println!(
+        "\npredicting {} held-out purchase edges (+ negatives)",
+        purchase_test.iter().filter(|e| e.label).count()
+    );
+
+    let mut base = HybridConfig::fast();
+    base.common.epochs = 12;
+    base.common.patience = 6;
+
+    for (name, config) in [
+        ("HybridGNN (full)", base.clone()),
+        (
+            "HybridGNN w/o randomized exploration",
+            base.clone().without_randomized_exploration(),
+        ),
+    ] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut model = HybridGnn::new(config);
+        model.fit(
+            &FitData {
+                graph: &split.train_graph,
+                metapath_shapes: &dataset.metapath_shapes,
+                val: &split.val,
+            },
+            &mut rng,
+        );
+        let scores: Vec<f32> = purchase_test
+            .iter()
+            .map(|e| model.score(e.u, e.v, e.relation))
+            .collect();
+        let labels: Vec<bool> = purchase_test.iter().map(|e| e.label).collect();
+        println!(
+            "  {:<40} purchase ROC-AUC {:.4}",
+            name,
+            eval::roc_auc(&scores, &labels)
+        );
+    }
+
+    println!(
+        "\nThe full model sees page-view/cart/favoring evidence through the \
+         two-phase exploration walks; the ablation is confined to the sparse \
+         purchase subgraph."
+    );
+}

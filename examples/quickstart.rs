@@ -1,0 +1,82 @@
+//! Quickstart: build a multiplex heterogeneous graph, train HybridGNN, and
+//! predict relationship-specific links.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hybridgnn_repro::datasets::{DatasetKind, EdgeSplit};
+use hybridgnn_repro::eval;
+use hybridgnn_repro::model::{HybridConfig, HybridGnn};
+use hybridgnn_repro::models::{FitData, LinkPredictor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A Taobao-like multiplex graph: users × items under four behaviours
+    //    (page-view, item-favoring, purchase, add-to-cart).
+    let dataset = DatasetKind::Taobao.generate(0.02, 42);
+    let graph = &dataset.graph;
+    println!(
+        "graph: {} nodes, {} edges, {} node types, {} relations",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.schema().num_node_types(),
+        graph.schema().num_relations()
+    );
+
+    // 2. Hold out edges: 85% train / 5% validation / 10% test, per relation,
+    //    with one sampled negative per evaluation positive.
+    let mut rng = StdRng::seed_from_u64(7);
+    let split = EdgeSplit::default_split(graph, &mut rng);
+
+    // 3. Train HybridGNN. `HybridConfig::default()` uses the paper's
+    //    hyper-parameters (d_m = 128, d_e = 8, 5 negatives, depth-2
+    //    randomized exploration); the fast profile keeps this example quick.
+    let mut config = HybridConfig::fast();
+    config.common.epochs = 12;
+    config.common.patience = 6;
+    let mut model = HybridGnn::new(config);
+    let report = model.fit(
+        &FitData {
+            graph: &split.train_graph,
+            metapath_shapes: &dataset.metapath_shapes,
+            val: &split.val,
+        },
+        &mut rng,
+    );
+    println!(
+        "trained {} epochs, final loss {:.4}, best val ROC-AUC {:.4}",
+        report.epochs_run, report.final_loss, report.best_val_auc
+    );
+
+    // 4. Score held-out edges and measure link-prediction quality.
+    let scores: Vec<f32> = split
+        .test
+        .iter()
+        .map(|e| model.score(e.u, e.v, e.relation))
+        .collect();
+    let labels: Vec<bool> = split.test.iter().map(|e| e.label).collect();
+    println!(
+        "test ROC-AUC {:.4}, PR-AUC {:.4}",
+        eval::roc_auc(&scores, &labels),
+        eval::pr_auc(&scores, &labels)
+    );
+
+    // 5. Relationship-specific predictions: the same user–item pair can
+    //    score very differently under different behaviours — that is the
+    //    point of multiplex representations.
+    if let Some(edge) = split.test.iter().find(|e| e.label) {
+        println!(
+            "\npair {} → {} scored per relation:",
+            edge.u, edge.v
+        );
+        for r in graph.schema().relations() {
+            println!(
+                "  {:<14} {:+.4}",
+                graph.schema().relation_name(r),
+                model.score(edge.u, edge.v, r)
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Short-video recommendation (the paper's motivating Kuaishou scenario):
+//! recommend videos to users under the *like* relationship, and inspect
+//! which aggregation flows the hierarchical attention actually uses.
+//!
+//! ```sh
+//! cargo run --release --example short_video_recommendation
+//! ```
+
+use hybridgnn_repro::datasets::{DatasetKind, EdgeSplit};
+use hybridgnn_repro::graph::NodeId;
+use hybridgnn_repro::model::{HybridConfig, HybridGnn};
+use hybridgnn_repro::models::{FitData, LinkPredictor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Users, videos and authors under click / like / comment / download.
+    let dataset = DatasetKind::Kuaishou.generate(0.02, 42);
+    let graph = &dataset.graph;
+    let schema = graph.schema();
+    let like = schema.relation_id("like").expect("like relation");
+    let video_ty = schema.node_type_id("video").expect("video type");
+    let user_ty = schema.node_type_id("user").expect("user type");
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let split = EdgeSplit::default_split(graph, &mut rng);
+
+    let mut config = HybridConfig::fast();
+    config.common.epochs = 12;
+    config.common.patience = 6;
+    let mut model = HybridGnn::new(config);
+    model.fit(
+        &FitData {
+            graph: &split.train_graph,
+            metapath_shapes: &dataset.metapath_shapes,
+            val: &split.val,
+        },
+        &mut rng,
+    );
+
+    // Pick an active user and rank every video they haven't liked yet.
+    let user = *graph
+        .nodes_of_type(user_ty)
+        .iter()
+        .max_by_key(|&&u| graph.degree(u, like))
+        .expect("at least one user");
+    println!(
+        "recommending for {user} ({} liked videos in the full graph)",
+        graph.degree(user, like)
+    );
+
+    let mut candidates: Vec<(NodeId, f32)> = graph
+        .nodes_of_type(video_ty)
+        .iter()
+        .filter(|&&v| !split.train_graph.has_edge(user, v, like))
+        .map(|&v| (v, model.score(user, v, like)))
+        .collect();
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    println!("top-10 like recommendations:");
+    for (rank, (video, score)) in candidates.iter().take(10).enumerate() {
+        let held_out = graph.has_edge(user, *video, like);
+        println!(
+            "  {:>2}. {video}  score {score:+.4}{}",
+            rank + 1,
+            if held_out { "  (held-out true like!)" } else { "" }
+        );
+    }
+
+    // Which flows does the metapath-level attention trust, per relation?
+    // (The data behind the paper's Fig. 4.)
+    println!("\nmetapath-level attention profile:");
+    for (ri, rows) in model.attention_profile().iter().enumerate() {
+        let rel = schema.relation_name(hybridgnn_repro::graph::RelationId(ri as u16));
+        let total: f64 = rows.iter().map(|(_, m)| m).sum();
+        print!("  {rel:<10}");
+        for (label, mass) in rows {
+            print!(" {label}={:.2}", mass / total.max(1e-12));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper at CPU-friendly scales
+# (1-vCPU machine: scales/epochs trimmed; see results/README.md).
+set -x
+cd /root/repo
+B=target/release
+$B/exp_datasets --scale 1.0                                       > results/table2_datasets.txt 2>&1
+$B/exp_table5   --scale 0.05 --epochs 10                          > results/table5.txt 2>&1
+$B/exp_table4   --scale 0.05 --epochs 10                          > results/table4.txt 2>&1
+$B/exp_table7   --scale 0.15 --epochs 10 --datasets YouTube       > results/table7_uplift.txt 2>&1
+$B/exp_table8   --scale 0.04 --epochs 8 --datasets YouTube,Taobao > results/table8_ablation.txt 2>&1
+$B/exp_table6   --scale 0.04 --epochs 8 --datasets Amazon,Taobao  > results/table6_depth.txt 2>&1
+$B/exp_fig4     --scale 0.04 --epochs 10                          > results/fig4_attention.txt 2>&1
+$B/exp_fig5     --scale 0.05 --epochs 10                          > results/fig5_degree.txt 2>&1
+$B/exp_table9   --scale 0.08 --epochs 10                          > results/table9_degree.txt 2>&1
+$B/exp_fig3     --scale 0.025 --epochs 6 --datasets Taobao        > results/fig3_sensitivity.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,25 @@
+//! Facade crate for the HybridGNN (ICDE 2022) reproduction.
+//!
+//! Re-exports the full workspace API so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`graph`] — multiplex heterogeneous graphs, schemas, metapaths.
+//! * [`sampling`] — walkers, the randomized inter-relationship explorer,
+//!   neighbor and negative samplers.
+//! * [`datasets`] — the five synthetic paper datasets and edge splits.
+//! * [`models`] — the nine baselines behind the [`models::LinkPredictor`]
+//!   trait.
+//! * [`model`] — HybridGNN itself.
+//! * [`eval`] — ROC-AUC / PR-AUC / F1 / PR@K / HR@K and the t-test.
+//! * [`tensor`] / [`autograd`] — the numeric substrate.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use hybridgnn as model;
+pub use mhg_autograd as autograd;
+pub use mhg_datasets as datasets;
+pub use mhg_eval as eval;
+pub use mhg_graph as graph;
+pub use mhg_models as models;
+pub use mhg_sampling as sampling;
+pub use mhg_tensor as tensor;
