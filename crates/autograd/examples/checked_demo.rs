@@ -1,0 +1,40 @@
+//! Demonstrates the `checked` feature's sanitizer from the public API.
+//!
+//! Run it twice:
+//!
+//! ```sh
+//! cargo run -p mhg-autograd --example checked_demo                  # clean graph
+//! cargo run -p mhg-autograd --example checked_demo -- --poison     # silently wrong
+//! cargo run -p mhg-autograd --example checked_demo --features checked -- --poison
+//! # ^ the sanitizer catches the NaN at the recording site with context
+//! ```
+
+use mhg_autograd::{Graph, ParamStore};
+use mhg_tensor::Tensor;
+
+fn main() {
+    let poison = std::env::args().any(|a| a == "--poison");
+
+    let mut store = ParamStore::new();
+    let w = store.register("w", Tensor::from_rows(&[&[0.5, -0.25], &[1.0, 0.75]]));
+    if poison {
+        // Corrupt one weight the way a diverging optimizer would.
+        store.value_mut(w).as_mut_slice()[3] = f32::NAN;
+        println!("poisoned parameter `w` with a NaN");
+    }
+
+    let x = Tensor::from_rows(&[&[1.0, 2.0]]);
+    let mut g = Graph::new(&store);
+    let xv = g.constant(x);
+    let wv = g.param(w);
+    let y = g.matmul(xv, wv);
+    let sq = g.mul(y, y);
+    let loss = g.sum_all(sq);
+    let grads = g.backward(loss);
+
+    println!(
+        "loss = {:.4}, grad(w) present = {}",
+        g.value(loss).as_slice()[0],
+        grads.get(w).is_some()
+    );
+}

@@ -11,8 +11,13 @@ impl Graph<'_> {
     ///
     /// # Panics
     ///
-    /// Panics if `loss` is not `1 × 1`.
+    /// Panics if `loss` is not `1 × 1`. Under `--features checked` the tape
+    /// is additionally validated via [`Graph::validate_tape`] before the
+    /// pass and the produced gradients via [`Graph::validate_grads`] after,
+    /// so malformed tapes and corrupt gradients fail with a diagnostic.
     pub fn backward(&self, loss: Var) -> GradStore {
+        #[cfg(feature = "checked")]
+        self.validate_tape();
         let loss_t = self.value(loss);
         assert_eq!(
             (loss_t.rows(), loss_t.cols()),
@@ -186,6 +191,8 @@ impl Graph<'_> {
             }
         }
 
+        #[cfg(feature = "checked")]
+        self.validate_grads(&store);
         store
     }
 }

@@ -91,6 +91,9 @@ impl<'s> Graph<'s> {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
+        #[cfg(feature = "checked")]
+        value.assert_finite(&format!("recording tape node {op:?}"));
+        #[cfg(not(feature = "checked"))]
         debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
         let v = Var(self.nodes.len() as u32);
         self.nodes.push(Node { value, op });
@@ -98,8 +101,21 @@ impl<'s> Graph<'s> {
     }
 
     /// The forward value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Under `--features checked`, panics with a diagnostic if `v` does not
+    /// belong to this tape (a dangling `Var` forged on another graph).
     #[inline]
     pub fn value(&self, v: Var) -> &Tensor {
+        #[cfg(feature = "checked")]
+        assert!(
+            v.index() < self.nodes.len(),
+            "dangling Var #{}: this tape has only {} node(s) — was the Var \
+             created on another Graph?",
+            v.index(),
+            self.nodes.len(),
+        );
         &self.nodes[v.index()].value
     }
 
@@ -144,6 +160,13 @@ impl<'s> Graph<'s> {
         let table = self.store.value(id);
         let mut out = Tensor::zeros(indices.len(), table.cols());
         for (r, &idx) in indices.iter().enumerate() {
+            assert!(
+                (idx as usize) < table.rows(),
+                "gather: row index {idx} out of bounds for parameter table \
+                 `{}` with {} rows",
+                self.store.name(id),
+                table.rows()
+            );
             out.set_row(r, table.row(idx as usize));
         }
         self.push(
@@ -285,7 +308,10 @@ impl<'s> Graph<'s> {
     /// Panics if the range is out of bounds or empty.
     pub fn slice_rows(&mut self, a: Var, start: usize, end: usize) -> Var {
         let src = self.value(a);
-        assert!(start < end && end <= src.rows(), "bad row slice {start}..{end}");
+        assert!(
+            start < end && end <= src.rows(),
+            "bad row slice {start}..{end}"
+        );
         let indices: Vec<usize> = (start..end).collect();
         let value = src.gather_rows(&indices);
         self.push(value, Op::SliceRows(a, start, end))

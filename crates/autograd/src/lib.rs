@@ -38,6 +38,7 @@ pub mod gradcheck;
 mod graph;
 mod optim;
 mod store;
+mod validate;
 
 pub use graph::{Graph, Var};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -234,11 +234,7 @@ impl GradStore {
 
     /// Global L2 norm across all stored gradients.
     pub fn global_norm(&self) -> f32 {
-        self.grads
-            .values()
-            .map(Grad::norm_sq)
-            .sum::<f32>()
-            .sqrt()
+        self.grads.values().map(Grad::norm_sq).sum::<f32>().sqrt()
     }
 
     /// Clips gradients so the global norm is at most `max_norm`.

@@ -41,7 +41,9 @@ fn bench_autograd(c: &mut Criterion) {
     let wk = params.register("wk", InitKind::XavierUniform.init(64, 64, &mut rng));
     let wv = params.register("wv", InitKind::XavierUniform.init(64, 64, &mut rng));
     let indices: Vec<u32> = (0..32).collect();
-    let labels: Vec<f32> = (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let labels: Vec<f32> = (0..16)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
 
     // The exact attention block of Eq. 6 with a skip-gram loss: forward +
     // backward, the inner loop of HybridGNN training.

@@ -50,7 +50,10 @@ fn main() {
         );
         println!(
             "{:<10} mean degree {:.1}, max degree {}, multiplex pairs {:.1}%",
-            "", stats.mean_degree, stats.max_degree, 100.0 * stats.multiplex_pair_fraction
+            "",
+            stats.mean_degree,
+            stats.max_degree,
+            100.0 * stats.multiplex_pair_fraction
         );
     }
 }

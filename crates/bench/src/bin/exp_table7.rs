@@ -76,7 +76,10 @@ fn main() {
 
         let label = format!(
             "g_{{{}}}",
-            (0..keep).map(|i| format!("r{i}")).collect::<Vec<_>>().join(",")
+            (0..keep)
+                .map(|i| format!("r{i}"))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         println!(
             "{:<22} {:>8.2} {:>8.2} {:>8.2}",

@@ -9,8 +9,8 @@ use hybridgnn::{HybridConfig, HybridGnn};
 use mhg_datasets::{Dataset, DatasetKind, EdgeSplit};
 use mhg_eval::{topk_metrics, TopKMetrics};
 use mhg_models::{
-    evaluate, ranking_queries, CommonConfig, DeepWalk, FitData, Gatne, Gcn, GraphSage, Han,
-    Line, LinkPredictor, Magnn, ModelMetrics, Node2Vec, RGcn,
+    evaluate, ranking_queries, CommonConfig, DeepWalk, FitData, Gatne, Gcn, GraphSage, Han, Line,
+    LinkPredictor, Magnn, ModelMetrics, Node2Vec, RGcn,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -96,8 +96,7 @@ impl ExpConfig {
                         .expect("--datasets requires a comma list")
                         .split(',')
                         .map(|s| {
-                            DatasetKind::parse(s)
-                                .unwrap_or_else(|| panic!("unknown dataset {s:?}"))
+                            DatasetKind::parse(s).unwrap_or_else(|| panic!("unknown dataset {s:?}"))
                         })
                         .collect();
                 }
@@ -234,7 +233,12 @@ pub fn print_header(dataset: &str, k: usize) {
     println!("\n== {dataset} ==");
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "model", "ROC-AUC", "PR-AUC", "F1", format!("PR@{k}"), format!("HR@{k}")
+        "model",
+        "ROC-AUC",
+        "PR-AUC",
+        "F1",
+        format!("PR@{k}"),
+        format!("HR@{k}")
     );
 }
 
@@ -251,8 +255,7 @@ pub fn print_row(name: &str, m: &FullMetrics) {
 /// a Welch t-test of HybridGNN against the best baseline when `runs ≥ 2`.
 pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind]) {
     for kind in cfg.dataset_set(default_sets) {
-        let model_names: Vec<&'static str> =
-            model_zoo(cfg).iter().map(|m| m.name()).collect();
+        let model_names: Vec<&'static str> = model_zoo(cfg).iter().map(|m| m.name()).collect();
         let mut results: Vec<Vec<FullMetrics>> = vec![Vec::new(); model_names.len()];
 
         for run in 0..cfg.runs {
@@ -277,13 +280,21 @@ pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind])
         if cfg.runs >= 2 {
             let hybrid_idx = model_names.len() - 1;
             let hybrid: Vec<f64> = results[hybrid_idx].iter().map(|m| m.roc_auc).collect();
-            // Runner-up = best baseline by mean ROC-AUC.
-            let (best_idx, _) = results[..hybrid_idx]
+            // Runner-up = best baseline by mean ROC-AUC. NaN-free because
+            // ROC-AUC is bounded; total_cmp keeps the fold total anyway.
+            let best = results[..hybrid_idx]
                 .iter()
                 .enumerate()
-                .map(|(i, ms)| (i, mhg_eval::mean(&ms.iter().map(|m| m.roc_auc).collect::<Vec<_>>())))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap();
+                .map(|(i, ms)| {
+                    (
+                        i,
+                        mhg_eval::mean(&ms.iter().map(|m| m.roc_auc).collect::<Vec<_>>()),
+                    )
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((best_idx, _)) = best else {
+                continue; // no baselines configured for this dataset
+            };
             let baseline: Vec<f64> = results[best_idx].iter().map(|m| m.roc_auc).collect();
             if let Some(t) = mhg_eval::welch_t_test(&hybrid, &baseline) {
                 println!(
@@ -292,7 +303,11 @@ pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind])
                     cfg.runs,
                     t.t,
                     t.p_two_tailed,
-                    if t.p_two_tailed < 0.01 { "  (p<0.01 *)" } else { "" }
+                    if t.p_two_tailed < 0.01 {
+                        "  (p<0.01 *)"
+                    } else {
+                        ""
+                    }
                 );
             }
         }
@@ -332,8 +347,16 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "DeepWalk", "node2vec", "LINE", "GCN", "GraphSage", "HAN", "MAGNN",
-                "R-GCN", "GATNE", "HybridGNN"
+                "DeepWalk",
+                "node2vec",
+                "LINE",
+                "GCN",
+                "GraphSage",
+                "HAN",
+                "MAGNN",
+                "R-GCN",
+                "GATNE",
+                "HybridGNN"
             ]
         );
     }

@@ -80,7 +80,11 @@ mod tests {
     #[test]
     fn sizes_scale() {
         let d = generate(0.05, 7);
-        assert!((400..=650).contains(&d.graph.num_nodes()), "{}", d.graph.num_nodes());
+        assert!(
+            (400..=650).contains(&d.graph.num_nodes()),
+            "{}",
+            d.graph.num_nodes()
+        );
         assert!(d.graph.num_edges() > 1000, "{}", d.graph.num_edges());
     }
 
@@ -92,8 +96,7 @@ mod tests {
         let c = generate(0.03, 2);
         // Different seed should (overwhelmingly) differ somewhere.
         let differs = a.graph.num_edges() != c.graph.num_edges()
-            || a
-                .graph
+            || a.graph
                 .nodes()
                 .any(|v| a.graph.total_degree(v) != c.graph.total_degree(v));
         assert!(differs);

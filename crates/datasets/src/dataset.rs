@@ -138,10 +138,7 @@ mod tests {
     fn parse_roundtrip() {
         for kind in DatasetKind::ALL {
             assert_eq!(DatasetKind::parse(kind.name()), Some(kind));
-            assert_eq!(
-                DatasetKind::parse(&kind.name().to_uppercase()),
-                Some(kind)
-            );
+            assert_eq!(DatasetKind::parse(&kind.name().to_uppercase()), Some(kind));
         }
         assert_eq!(DatasetKind::parse("nope"), None);
     }

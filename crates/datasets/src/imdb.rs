@@ -70,15 +70,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
     }
 
     // Movie–actor edges.
-    let ma = EdgeSampler::new(
-        movies,
-        &m_comms,
-        &m_act,
-        actors,
-        &a_comms,
-        &a_act,
-        NOISE,
-    );
+    let ma = EdgeSampler::new(movies, &m_comms, &m_act, actors, &a_comms, &a_act, NOISE);
     let ma_target = cap_edges(scaled(FULL_MA_EDGES, scale), n_m * n_a);
     for (u, v) in ma.sample_edges(ma_target, &mut rng) {
         builder.add_edge(u, v, to);
@@ -114,12 +106,18 @@ mod tests {
     fn node_type_proportions() {
         let d = generate(0.1, 7);
         let s = d.graph.schema();
-        let movies = d.graph.nodes_of_type(s.node_type_id("movie").unwrap()).len();
+        let movies = d
+            .graph
+            .nodes_of_type(s.node_type_id("movie").unwrap())
+            .len();
         let directors = d
             .graph
             .nodes_of_type(s.node_type_id("director").unwrap())
             .len();
-        let actors = d.graph.nodes_of_type(s.node_type_id("actor").unwrap()).len();
+        let actors = d
+            .graph
+            .nodes_of_type(s.node_type_id("actor").unwrap())
+            .len();
         assert!(movies > directors, "movies {movies} directors {directors}");
         assert!(actors > movies, "actors {actors} movies {movies}");
     }

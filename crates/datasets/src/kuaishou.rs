@@ -122,10 +122,10 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
         name: "Kuaishou".to_string(),
         graph: builder.build(),
         metapath_shapes: vec![
-            vec![user, author, user],  // U-A-U
+            vec![user, author, user],   // U-A-U
             vec![author, user, author], // A-U-A
-            vec![video, user, video],  // V-U-V
-            vec![user, video, user],   // U-V-U
+            vec![video, user, video],   // V-U-V
+            vec![user, video, user],    // U-V-U
         ],
     }
 }

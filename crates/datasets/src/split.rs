@@ -58,11 +58,7 @@ impl EdgeSplit {
     /// # Panics
     ///
     /// Panics if the fractions are out of range.
-    pub fn new<R: Rng + ?Sized>(
-        graph: &MultiplexGraph,
-        config: SplitConfig,
-        rng: &mut R,
-    ) -> Self {
+    pub fn new<R: Rng + ?Sized>(graph: &MultiplexGraph, config: SplitConfig, rng: &mut R) -> Self {
         assert!(
             config.train_frac > 0.0
                 && config.val_frac >= 0.0

@@ -177,7 +177,10 @@ impl EdgeSampler {
         right_activity: &[f32],
         noise: f32,
     ) -> Self {
-        assert!(!left.is_empty() && !right.is_empty(), "empty endpoint group");
+        assert!(
+            !left.is_empty() && !right.is_empty(),
+            "empty endpoint group"
+        );
         assert_eq!(
             left_comms.num_communities(),
             right_comms.num_communities(),
@@ -300,15 +303,7 @@ mod tests {
         let nodes = ids(0..60);
         let comms = Communities::random(60, 4, &mut rng);
         let act = zipf_activity(60, 0.5, &mut rng);
-        let sampler = EdgeSampler::new(
-            nodes.clone(),
-            &comms,
-            &act,
-            nodes,
-            &comms,
-            &act,
-            0.0,
-        );
+        let sampler = EdgeSampler::new(nodes.clone(), &comms, &act, nodes, &comms, &act, 0.0);
         for _ in 0..500 {
             let (u, v) = sampler.sample(&mut rng);
             assert_eq!(
@@ -325,15 +320,7 @@ mod tests {
         let nodes = ids(0..60);
         let comms = Communities::random(60, 4, &mut rng);
         let act = vec![1.0; 60];
-        let sampler = EdgeSampler::new(
-            nodes.clone(),
-            &comms,
-            &act,
-            nodes,
-            &comms,
-            &act,
-            1.0,
-        );
+        let sampler = EdgeSampler::new(nodes.clone(), &comms, &act, nodes, &comms, &act, 1.0);
         let crossings = (0..1000)
             .filter(|_| {
                 let (u, v) = sampler.sample(&mut rng);
@@ -350,15 +337,7 @@ mod tests {
         let nodes = ids(0..20);
         let comms = Communities::random(20, 2, &mut rng);
         let act = vec![1.0; 20];
-        let sampler = EdgeSampler::new(
-            nodes.clone(),
-            &comms,
-            &act,
-            nodes,
-            &comms,
-            &act,
-            0.3,
-        );
+        let sampler = EdgeSampler::new(nodes.clone(), &comms, &act, nodes, &comms, &act, 0.3);
         let edges = sampler.sample_edges(50, &mut rng);
         let mut keys: Vec<_> = edges
             .iter()
@@ -378,15 +357,7 @@ mod tests {
         let nodes = ids(0..4);
         let comms = Communities::random(4, 1, &mut rng);
         let act = vec![1.0; 4];
-        let sampler = EdgeSampler::new(
-            nodes.clone(),
-            &comms,
-            &act,
-            nodes,
-            &comms,
-            &act,
-            0.0,
-        );
+        let sampler = EdgeSampler::new(nodes.clone(), &comms, &act, nodes, &comms, &act, 0.0);
         let edges = sampler.sample_edges(100, &mut rng);
         assert!(edges.len() <= 6);
     }

@@ -100,7 +100,11 @@ mod tests {
     fn graph_is_dense() {
         let d = generate(0.1, 7);
         let stats = mhg_graph::GraphStats::compute(&d.graph);
-        assert!(stats.mean_degree > 20.0, "mean degree {}", stats.mean_degree);
+        assert!(
+            stats.mean_degree > 20.0,
+            "mean degree {}",
+            stats.mean_degree
+        );
         // Multiplexity: shared communities make repeated pairs common.
         assert!(stats.multiplex_pair_fraction > 0.05);
     }

@@ -18,7 +18,7 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
 
     // Sort indices by score ascending; assign midranks to ties.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
 
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
@@ -61,7 +61,7 @@ pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f64 {
     }
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
     let mut tp = 0usize;
     let mut fp = 0usize;
@@ -122,7 +122,7 @@ pub fn f1_at(scores: &[f32], labels: &[bool], threshold: f32) -> f64 {
 pub fn best_f1_threshold(scores: &[f32], labels: &[bool]) -> (f32, f64) {
     assert_eq!(scores.len(), labels.len(), "length mismatch");
     let mut candidates: Vec<f32> = scores.to_vec();
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    candidates.sort_by(f32::total_cmp);
     candidates.dedup();
     let mut best = (0.0f32, 0.0f64);
     for &t in &candidates {

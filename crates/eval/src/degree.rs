@@ -42,8 +42,8 @@ pub fn degree_buckets(
     if degrees.is_empty() {
         return Vec::new();
     }
-    let min_d = degrees.iter().map(|&(_, d)| d).min().unwrap();
-    let max_d = degrees.iter().map(|&(_, d)| d).max().unwrap();
+    let min_d = degrees.iter().map(|&(_, d)| d).fold(usize::MAX, usize::min);
+    let max_d = degrees.iter().map(|&(_, d)| d).fold(0, usize::max);
     let width = ((max_d - min_d + 1) as f64 / n_buckets as f64).ceil() as usize;
     let width = width.max(1);
 

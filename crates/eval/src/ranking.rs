@@ -106,7 +106,7 @@ pub fn topk_metrics(queries: &[RankedQuery], k: usize) -> TopKMetrics {
 /// Builds a [`RankedQuery`] from unsorted `(score, relevant)` candidate
 /// pairs.
 pub fn rank_candidates(mut candidates: Vec<(f32, bool)>, num_relevant: usize) -> RankedQuery {
-    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
     RankedQuery {
         ranked: candidates.into_iter().map(|(_, r)| r).collect(),
         num_relevant,

@@ -98,7 +98,7 @@ impl Csr {
             "offsets must be monotone"
         );
         assert_eq!(
-            *offsets.last().unwrap() as usize,
+            offsets.last().copied().unwrap_or(0) as usize,
             targets.len(),
             "offsets must cover targets"
         );
@@ -154,8 +154,7 @@ mod tests {
     fn parts_roundtrip() {
         let mut edges = vec![(n(0), n(1)), (n(1), n(0))];
         let csr = Csr::from_directed_edges(2, &mut edges);
-        let rebuilt =
-            Csr::from_parts(csr.offsets().to_vec(), csr.targets().to_vec());
+        let rebuilt = Csr::from_parts(csr.offsets().to_vec(), csr.targets().to_vec());
         assert_eq!(csr, rebuilt);
     }
 }

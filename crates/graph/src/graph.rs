@@ -185,10 +185,7 @@ impl MultiplexGraph {
 
     /// Total degree of `v` across all relations.
     pub fn total_degree(&self, v: NodeId) -> usize {
-        self.schema
-            .relations()
-            .map(|r| self.degree(v, r))
-            .sum()
+        self.schema.relations().map(|r| self.degree(v, r)).sum()
     }
 
     /// Relations under which `v` has at least one neighbor — the support of
@@ -213,9 +210,7 @@ impl MultiplexGraph {
     /// Iterates over the undirected edges of relation `r` (each reported
     /// once, with `u < v`).
     pub fn edges_in(&self, r: RelationId) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency[r.index()]
-            .edges()
-            .filter(|&(u, v)| u < v)
+        self.adjacency[r.index()].edges().filter(|&(u, v)| u < v)
     }
 
     /// Induces the sub-multiplex containing only the given relations

@@ -42,7 +42,8 @@ impl MetapathScheme {
 
     /// Creates an intra-relationship scheme: every hop uses relation `r`.
     pub fn intra(node_types: Vec<NodeTypeId>, r: RelationId) -> Self {
-        let hops = node_types.len().checked_sub(1).expect("empty metapath");
+        assert!(!node_types.is_empty(), "empty metapath");
+        let hops = node_types.len() - 1;
         Self::new(node_types, vec![r; hops])
     }
 
@@ -113,10 +114,7 @@ impl MetapathScheme {
     pub fn is_symmetric(&self) -> bool {
         let n = self.node_types.len();
         (0..n).all(|i| self.node_types[i] == self.node_types[n - 1 - i])
-            && self
-                .relations
-                .iter()
-                .eq(self.relations.iter().rev())
+            && self.relations.iter().eq(self.relations.iter().rev())
     }
 
     /// Validates the scheme against a graph's schema.
@@ -226,10 +224,7 @@ mod tests {
     fn symmetry() {
         let (_, scheme) = uvu_setup();
         assert!(scheme.is_symmetric());
-        let asym = MetapathScheme::intra(
-            vec![NodeTypeId(0), NodeTypeId(1)],
-            RelationId(0),
-        );
+        let asym = MetapathScheme::intra(vec![NodeTypeId(0), NodeTypeId(1)], RelationId(0));
         assert!(!asym.is_symmetric());
     }
 
@@ -259,10 +254,7 @@ mod tests {
     fn validate_against_schema() {
         let (g, scheme) = uvu_setup();
         assert!(scheme.validate(g.schema()).is_ok());
-        let bad = MetapathScheme::intra(
-            vec![NodeTypeId(9), NodeTypeId(9)],
-            RelationId(0),
-        );
+        let bad = MetapathScheme::intra(vec![NodeTypeId(9), NodeTypeId(9)], RelationId(0));
         assert!(bad.validate(g.schema()).is_err());
     }
 

@@ -121,7 +121,7 @@ pub fn decode(mut buf: &[u8]) -> Result<MultiplexGraph, DecodeError> {
             offsets.push(get_u32(&mut buf)?);
         }
         let n_tgt = get_u32(&mut buf)? as usize;
-        if *offsets.last().unwrap() as usize != n_tgt {
+        if offsets.last().is_none_or(|&last| last as usize != n_tgt) {
             return Err(DecodeError::Truncated);
         }
         let mut targets = Vec::with_capacity(n_tgt);

@@ -32,10 +32,8 @@ impl GraphStats {
     /// Computes statistics for a graph.
     pub fn compute(graph: &MultiplexGraph) -> Self {
         let schema = graph.schema();
-        let edges_per_relation: Vec<usize> = schema
-            .relations()
-            .map(|r| graph.num_edges_in(r))
-            .collect();
+        let edges_per_relation: Vec<usize> =
+            schema.relations().map(|r| graph.num_edges_in(r)).collect();
         let nodes_per_type: Vec<usize> = schema
             .node_types()
             .map(|t| graph.nodes_of_type(t).len())
@@ -55,8 +53,7 @@ impl GraphStats {
         let mut connected_pairs = 0usize;
         let relations: Vec<RelationId> = schema.relations().collect();
         // Collect each undirected pair once across relations.
-        let mut seen: std::collections::HashMap<(u32, u32), u32> =
-            std::collections::HashMap::new();
+        let mut seen: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
         for &r in &relations {
             for (u, v) in graph.edges_in(r) {
                 *seen.entry((u.0, v.0)).or_insert(0) += 1;

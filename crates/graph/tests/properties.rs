@@ -40,11 +40,7 @@ fn build(spec: &Spec) -> MultiplexGraph {
     let total: usize = spec.type_counts.iter().sum();
     for &(u, v, r) in &spec.edges {
         if u != v && u < total && v < total {
-            b.add_edge(
-                NodeId(u as u32),
-                NodeId(v as u32),
-                RelationId(r as u16),
-            );
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), RelationId(r as u16));
         }
     }
     b.build()

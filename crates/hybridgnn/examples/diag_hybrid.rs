@@ -1,3 +1,6 @@
+//! Diagnostic driver: fits the full HybridGNN on a tiny synthetic dataset
+//! and prints ROC-AUC, for quick eyeballing during development.
+
 use hybridgnn::{HybridConfig, HybridGnn};
 use mhg_datasets::{DatasetKind, EdgeSplit};
 use mhg_models::{evaluate, FitData, LinkPredictor};
@@ -9,16 +12,31 @@ fn main() {
     let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(15);
     let ds = args.get(3).map(|s| s.as_str()).unwrap_or("Taobao");
     let dataset = DatasetKind::parse(ds).unwrap().generate(scale, 10);
-    println!("{} nodes {} edges", dataset.graph.num_nodes(), dataset.graph.num_edges());
+    println!(
+        "{} nodes {} edges",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges()
+    );
     let mut rng = StdRng::seed_from_u64(11);
     let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
     let mut cfg = HybridConfig::fast();
     cfg.common.epochs = epochs;
     cfg.common.patience = 100;
     let mut model = HybridGnn::new(cfg);
-    let data = FitData { graph: &split.train_graph, metapath_shapes: &dataset.metapath_shapes, val: &split.val };
+    let data = FitData {
+        graph: &split.train_graph,
+        metapath_shapes: &dataset.metapath_shapes,
+        val: &split.val,
+    };
     let t0 = std::time::Instant::now();
     let report = model.fit(&data, &mut rng);
     let m = evaluate(&model, &split.test);
-    println!("hybrid: epochs {} loss {:.4} best_val {:.4} test_auc {:.4} ({:?})", report.epochs_run, report.final_loss, report.best_val_auc, m.roc_auc, t0.elapsed());
+    println!(
+        "hybrid: epochs {} loss {:.4} best_val {:.4} test_auc {:.4} ({:?})",
+        report.epochs_run,
+        report.final_loss,
+        report.best_val_auc,
+        m.roc_auc,
+        t0.elapsed()
+    );
 }

@@ -132,13 +132,21 @@ mod tests {
 
     #[test]
     fn ablation_builders() {
-        assert!(!HybridConfig::fast().without_metapath_attention().use_metapath_attention);
-        assert!(!HybridConfig::fast()
-            .without_relationship_attention()
-            .use_relationship_attention);
-        assert!(!HybridConfig::fast()
-            .without_randomized_exploration()
-            .use_randomized_exploration);
+        assert!(
+            !HybridConfig::fast()
+                .without_metapath_attention()
+                .use_metapath_attention
+        );
+        assert!(
+            !HybridConfig::fast()
+                .without_relationship_attention()
+                .use_relationship_attention
+        );
+        assert!(
+            !HybridConfig::fast()
+                .without_randomized_exploration()
+                .use_randomized_exploration
+        );
         assert!(!HybridConfig::fast().without_hybrid_flows().use_hybrid_flows);
     }
 }

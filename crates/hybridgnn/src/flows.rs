@@ -182,12 +182,7 @@ mod tests {
         let mut params = ParamStore::new();
         let flow = params.register(
             "flow",
-            Tensor::from_rows(&[
-                &[1.0, 0.0],
-                &[0.0, 1.0],
-                &[1.0, 1.0],
-                &[2.0, 0.0],
-            ]),
+            Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, 0.0]]),
         );
         let w = params.register("w", InitKind::XavierUniform.init(2, 2, &mut rng));
         (params, flow, w)
@@ -197,12 +192,14 @@ mod tests {
     fn flow_embedding_shape() {
         let (params, flow, w) = setup();
         let mut g = Graph::new(&params);
-        let layers = vec![
-            vec![NodeId(0)],
-            vec![NodeId(1), NodeId(2)],
-            vec![NodeId(3)],
-        ];
-        let h = flow_embedding(&mut g, flow, w, &layers, &FlowAggregator::Simple(AggregatorKind::Mean));
+        let layers = vec![vec![NodeId(0)], vec![NodeId(1), NodeId(2)], vec![NodeId(3)]];
+        let h = flow_embedding(
+            &mut g,
+            flow,
+            w,
+            &layers,
+            &FlowAggregator::Simple(AggregatorKind::Mean),
+        );
         let t = g.value(h);
         assert_eq!((t.rows(), t.cols()), (1, 2));
         assert!(t.all_finite());
@@ -215,7 +212,13 @@ mod tests {
         let (params, flow, w) = setup();
         let mut g = Graph::new(&params);
         let layers = vec![vec![NodeId(2)]];
-        let h = flow_embedding(&mut g, flow, w, &layers, &FlowAggregator::Simple(AggregatorKind::Mean));
+        let h = flow_embedding(
+            &mut g,
+            flow,
+            w,
+            &layers,
+            &FlowAggregator::Simple(AggregatorKind::Mean),
+        );
         assert_eq!(g.value(h).rows(), 1);
     }
 
@@ -249,7 +252,10 @@ mod tests {
         );
         let w = params.register("w", InitKind::XavierUniform.init(2, 2, &mut rng));
         let mut mat = |name: &str, p: &mut ParamStore| {
-            p.register(name.to_string(), InitKind::XavierUniform.init(2, 2, &mut rng))
+            p.register(
+                name.to_string(),
+                InitKind::XavierUniform.init(2, 2, &mut rng),
+            )
         };
         let wx = [
             mat("wxi", &mut params),
@@ -283,7 +289,10 @@ mod tests {
         let h2 = flow_embedding(&mut g2, flow, w, &rev, &agg);
         let v2 = g2.value(h2).clone();
         assert!(v1.all_finite() && v2.all_finite());
-        assert!(v1.max_abs_diff(&v2) > 1e-7, "LSTM should be order-sensitive");
+        assert!(
+            v1.max_abs_diff(&v2) > 1e-7,
+            "LSTM should be order-sensitive"
+        );
 
         // And its gradients must flow: backprop a scalar through it.
         let mut g3 = Graph::new(&params);

@@ -6,19 +6,19 @@ use std::collections::HashMap;
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
 use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, NodeTypeId, RelationId};
+use mhg_models::{
+    EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision, TrainReport,
+};
 use mhg_sampling::{
     pairs_from_walk, InterRelationshipExplorer, MetapathNeighborSampler, MetapathWalker,
     NegativeSampler, Pair, UniformNeighborSampler,
 };
 use mhg_tensor::{InitKind, Tensor};
-use mhg_models::{
-    EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision, TrainReport,
-};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use crate::config::HybridConfig;
 use crate::config::AggregatorKind;
+use crate::config::HybridConfig;
 use crate::flows::{flow_embedding, self_attention, FlowAggregator, LstmParams};
 
 const BATCH: usize = 48;
@@ -103,12 +103,18 @@ impl HybridGnn {
         let p = Params {
             base: params.register(
                 "base",
-                InitKind::Uniform { limit: 0.5 / d_m as f32 }.init(n, d_m, rng),
+                InitKind::Uniform {
+                    limit: 0.5 / d_m as f32,
+                }
+                .init(n, d_m, rng),
             ),
             ctx: params.register("ctx", Tensor::zeros(n, d_m)),
             flow: params.register(
                 "flow",
-                InitKind::Uniform { limit: 0.5 / d_h as f32 }.init(n, d_h, rng),
+                InitKind::Uniform {
+                    limit: 0.5 / d_h as f32,
+                }
+                .init(n, d_h, rng),
             ),
             w_shape: (0..num_shapes)
                 .map(|i| {
@@ -136,10 +142,23 @@ impl HybridGnn {
                 .collect(),
             lstm: (config.aggregator == AggregatorKind::Lstm).then(|| {
                 let mut mat = |name: &str| {
-                    params.register(name.to_string(), InitKind::XavierUniform.init(d_h, d_h, rng))
+                    params.register(
+                        name.to_string(),
+                        InitKind::XavierUniform.init(d_h, d_h, rng),
+                    )
                 };
-                let wx = [mat("lstm_wxi"), mat("lstm_wxf"), mat("lstm_wxo"), mat("lstm_wxg")];
-                let wh = [mat("lstm_whi"), mat("lstm_whf"), mat("lstm_who"), mat("lstm_whg")];
+                let wx = [
+                    mat("lstm_wxi"),
+                    mat("lstm_wxf"),
+                    mat("lstm_wxo"),
+                    mat("lstm_wxg"),
+                ];
+                let wh = [
+                    mat("lstm_whi"),
+                    mat("lstm_whf"),
+                    mat("lstm_who"),
+                    mat("lstm_whg"),
+                ];
                 let b = [
                     params.register("lstm_bi", Tensor::zeros(1, d_h)),
                     // Forget-gate bias starts at 1 (standard LSTM trick).
@@ -167,8 +186,7 @@ impl HybridGnn {
     ) -> (Vec<Var>, Vec<Vec<(String, f64)>>) {
         let cfg = ctx.config;
         let graph = ctx.graph;
-        let metapath_sampler =
-            MetapathNeighborSampler::new(graph, cfg.fan_out, cfg.max_layer);
+        let metapath_sampler = MetapathNeighborSampler::new(graph, cfg.fan_out, cfg.max_layer);
         let uniform_sampler = UniformNeighborSampler::new(graph, cfg.fan_out, cfg.max_layer);
         let explorer = InterRelationshipExplorer::new(graph);
         let aggregator = FlowAggregator::new(cfg.aggregator, p.lstm);
@@ -225,13 +243,7 @@ impl HybridGnn {
                     rng,
                 );
                 if layers.len() > 1 {
-                    rows.push(flow_embedding(
-                        g,
-                        p.flow,
-                        p.w_rand,
-                        &layers,
-                        &aggregator,
-                    ));
+                    rows.push(flow_embedding(g, p.flow, p.w_rand, &layers, &aggregator));
                     labels.push("random".to_string());
                 }
             }
@@ -239,13 +251,7 @@ impl HybridGnn {
             if rows.is_empty() {
                 // Isolated node or no applicable scheme: self flow.
                 let layers = vec![vec![v]];
-                rows.push(flow_embedding(
-                    g,
-                    p.flow,
-                    p.w_self,
-                    &layers,
-                    &aggregator,
-                ));
+                rows.push(flow_embedding(g, p.flow, p.w_self, &layers, &aggregator));
                 labels.push("self".to_string());
             }
 
@@ -314,8 +320,7 @@ impl HybridGnn {
         for chunk in nodes.chunks(BATCH) {
             let mut g = Graph::new(params);
             for &v in chunk {
-                let (e_stars, attn) =
-                    Self::forward_node(&mut g, p, ctx, v, rng, true);
+                let (e_stars, attn) = Self::forward_node(&mut g, p, ctx, v, rng, true);
                 for (ri, e) in e_stars.iter().enumerate() {
                     tables[ri].set_row(v.index(), g.value(*e).row(0));
                 }
@@ -423,9 +428,7 @@ impl LinkPredictor for HybridGnn {
                     lefts.push(e);
                     targets.push(pair.context.0);
                     labels.push(1.0);
-                    for neg in
-                        negatives.sample_many(ty, pair.context, common.negatives, rng)
-                    {
+                    for neg in negatives.sample_many(ty, pair.context, common.negatives, rng) {
                         lefts.push(e);
                         targets.push(neg.0);
                         labels.push(-1.0);
@@ -445,8 +448,8 @@ impl LinkPredictor for HybridGnn {
             report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
 
             let (tables, attention) = Self::full_inference(&params, &p, &ctx, rng);
-            let snapshot = EmbeddingScores::per_relation(tables)
-                .with_context(params.value(p.ctx).clone());
+            let snapshot =
+                EmbeddingScores::per_relation(tables).with_context(params.value(p.ctx).clone());
             let auc = mhg_models::val_auc(&snapshot, data.val);
             match stopper.update(auc) {
                 StopDecision::Improved => {

@@ -62,10 +62,22 @@ fn attention_profile_populated() {
 #[test]
 fn all_ablations_run_and_learn_something() {
     for (name, cfg) in [
-        ("w/o metapath attn", HybridConfig::fast().without_metapath_attention()),
-        ("w/o relationship attn", HybridConfig::fast().without_relationship_attention()),
-        ("w/o randomized", HybridConfig::fast().without_randomized_exploration()),
-        ("w/o hybrid flows", HybridConfig::fast().without_hybrid_flows()),
+        (
+            "w/o metapath attn",
+            HybridConfig::fast().without_metapath_attention(),
+        ),
+        (
+            "w/o relationship attn",
+            HybridConfig::fast().without_relationship_attention(),
+        ),
+        (
+            "w/o randomized",
+            HybridConfig::fast().without_randomized_exploration(),
+        ),
+        (
+            "w/o hybrid flows",
+            HybridConfig::fast().without_hybrid_flows(),
+        ),
     ] {
         let mut cfg = cfg;
         cfg.common.epochs = 6;
@@ -87,14 +99,26 @@ fn exploration_depths_all_work() {
 
 #[test]
 fn alternative_aggregators_work() {
-    for agg in [AggregatorKind::Sum, AggregatorKind::MaxPool, AggregatorKind::Lstm] {
+    for agg in [
+        AggregatorKind::Sum,
+        AggregatorKind::MaxPool,
+        AggregatorKind::Lstm,
+    ] {
         let mut cfg = HybridConfig::fast();
         // The LSTM aggregator multiplies tape size; keep its smoke test short.
         cfg.common.epochs = if agg == AggregatorKind::Lstm { 2 } else { 6 };
         cfg.aggregator = agg;
-        let scale = if agg == AggregatorKind::Lstm { 0.006 } else { 0.01 };
+        let scale = if agg == AggregatorKind::Lstm {
+            0.006
+        } else {
+            0.01
+        };
         let (_, auc) = fit_and_auc(cfg, DatasetKind::Amazon, scale, 36);
-        let floor = if agg == AggregatorKind::Lstm { 0.45 } else { 0.5 };
+        let floor = if agg == AggregatorKind::Lstm {
+            0.45
+        } else {
+            0.5
+        };
         assert!(auc > floor, "{agg:?}: auc {auc}");
     }
 }

@@ -1,0 +1,61 @@
+//! CLI for the workspace linter: `cargo run -p mhg-lint` (or `cargo lint`).
+//!
+//! Scans `crates/*/src/**.rs` from the workspace root, applies the
+//! `lint.allow` allowlist, prints `file:line: [rule] message` diagnostics
+//! and exits nonzero when unsuppressed violations remain.
+//!
+//! Options:
+//!
+//! * `--root <dir>` — workspace root to scan (default: the root the binary
+//!   was built in).
+//! * `--allowlist <file>` — allowlist path (default: `<root>/lint.allow`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from);
+    let mut root = default_root;
+    let mut allowlist: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root requires a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => return usage("--allowlist requires a file"),
+            },
+            "--help" | "-h" => {
+                println!("usage: mhg-lint [--root <dir>] [--allowlist <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let Some(root) = root else {
+        return usage("could not determine the workspace root; pass --root");
+    };
+    let allowlist = allowlist.unwrap_or_else(|| root.join("lint.allow"));
+
+    match mhg_lint::run(&root, &allowlist) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("mhg-lint: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("mhg-lint: {problem}\nusage: mhg-lint [--root <dir>] [--allowlist <file>]");
+    ExitCode::from(2)
+}

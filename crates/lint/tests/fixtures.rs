@@ -1,0 +1,144 @@
+//! End-to-end checks for the lint rules against known-bad fixture files,
+//! plus a guard that the real workspace is clean under `lint.allow`.
+//!
+//! The fixtures live in `tests/fixtures/*.rs` and are never compiled; they
+//! are fed to [`mhg_lint::scan_file`] under fabricated workspace-relative
+//! paths so each rule's scoping applies as it would in the real tree.
+
+use mhg_lint::{scan_file, Rule};
+
+fn rules_fired(rel_path: &str, source: &str) -> Vec<(Rule, usize)> {
+    scan_file(rel_path, source)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+fn count(fired: &[(Rule, usize)], rule: Rule) -> usize {
+    fired.iter().filter(|(r, _)| *r == rule).count()
+}
+
+#[test]
+fn panic_fixture_fires_no_panic_only_outside_tests() {
+    let fired = rules_fired(
+        "crates/models/src/bad_panics.rs",
+        include_str!("fixtures/bad_panics.rs"),
+    );
+    // unwrap, expect, panic!, todo!, unreachable! — one each, and the
+    // unwrap inside `#[cfg(test)]` must NOT count.
+    assert_eq!(count(&fired, Rule::NoPanic), 5, "diagnostics: {fired:?}");
+}
+
+#[test]
+fn panic_fixture_is_exempt_in_bin_targets() {
+    let fired = rules_fired(
+        "crates/bench/src/bin/bad_panics.rs",
+        include_str!("fixtures/bad_panics.rs"),
+    );
+    assert_eq!(count(&fired, Rule::NoPanic), 0, "diagnostics: {fired:?}");
+}
+
+#[test]
+fn rng_fixture_fires_unseeded_rng() {
+    let fired = rules_fired(
+        "crates/sampling/src/bad_rng.rs",
+        include_str!("fixtures/bad_rng.rs"),
+    );
+    // thread_rng, from_entropy, rand::random.
+    assert_eq!(
+        count(&fired, Rule::UnseededRng),
+        3,
+        "diagnostics: {fired:?}"
+    );
+}
+
+#[test]
+fn clock_fixture_fires_wall_clock_in_model_crates_only() {
+    let src = include_str!("fixtures/bad_clock.rs");
+    // std::time (use + return type), Instant::now, SystemTime::now.
+    let in_models = rules_fired("crates/models/src/bad_clock.rs", src);
+    assert_eq!(
+        count(&in_models, Rule::WallClock),
+        4,
+        "diagnostics: {in_models:?}"
+    );
+    // The eval crate is allowed to measure wall-clock time.
+    let in_eval = rules_fired("crates/eval/src/bad_clock.rs", src);
+    assert_eq!(
+        count(&in_eval, Rule::WallClock),
+        0,
+        "diagnostics: {in_eval:?}"
+    );
+}
+
+#[test]
+fn docs_fixture_fires_missing_docs_in_substrate_crates_only() {
+    let src = include_str!("fixtures/bad_docs.rs");
+    let in_tensor = rules_fired("crates/tensor/src/bad_docs.rs", src);
+    // Only `undocumented` — the documented and private fns are fine.
+    assert_eq!(
+        count(&in_tensor, Rule::MissingDocs),
+        1,
+        "diagnostics: {in_tensor:?}"
+    );
+    // Doc coverage is not (yet) enforced outside tensor/autograd/graph.
+    let in_models = rules_fired("crates/models/src/bad_docs.rs", src);
+    assert_eq!(
+        count(&in_models, Rule::MissingDocs),
+        0,
+        "diagnostics: {in_models:?}"
+    );
+}
+
+#[test]
+fn shape_fixture_fires_shape_assert_on_tensor_entry_points() {
+    let src = include_str!("fixtures/bad_shape.rs");
+    let in_ops = rules_fired("crates/tensor/src/ops.rs", src);
+    // `unchecked_add` has no assert; `checked_mul` has one.
+    assert_eq!(
+        count(&in_ops, Rule::ShapeAssert),
+        1,
+        "diagnostics: {in_ops:?}"
+    );
+    // The rule only covers the tensor kernel files.
+    let elsewhere = rules_fired("crates/models/src/ops.rs", src);
+    assert_eq!(
+        count(&elsewhere, Rule::ShapeAssert),
+        0,
+        "diagnostics: {elsewhere:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    // Scan under the strictest scoping: a tensor kernel file gets every rule.
+    let fired = rules_fired(
+        "crates/tensor/src/clean.rs",
+        include_str!("fixtures/clean.rs"),
+    );
+    assert!(fired.is_empty(), "diagnostics: {fired:?}");
+}
+
+#[test]
+fn workspace_is_clean_under_allowlist() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_default();
+    let diags = mhg_lint::scan_workspace(&root).unwrap_or_default();
+    let allow_text = std::fs::read_to_string(root.join("lint.allow")).unwrap_or_default();
+    let allow = mhg_lint::parse_allowlist(&allow_text);
+    let open: Vec<_> = diags
+        .iter()
+        .filter(|d| !mhg_lint::is_allowed(d, &allow))
+        .collect();
+    assert!(
+        open.is_empty(),
+        "workspace has unsuppressed lint violations:\n{}",
+        open.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+}

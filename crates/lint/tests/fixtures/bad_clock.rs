@@ -1,0 +1,13 @@
+//! Lint fixture: wall-clock use inside model/forward code.
+//! Never compiled — read by `tests/fixtures.rs` via `include_str!`.
+
+use std::time::Instant;
+
+pub fn forward_timed() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    SystemTime::now()
+}

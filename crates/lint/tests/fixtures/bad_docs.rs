@@ -1,0 +1,15 @@
+//! Lint fixture: undocumented `pub fn` in a substrate crate.
+//! Never compiled — read by `tests/fixtures.rs` via `include_str!`.
+
+/// Documented: no diagnostic for this one.
+pub fn documented(x: f32) -> f32 {
+    x * 2.0
+}
+
+pub fn undocumented(x: f32) -> f32 {
+    x + 1.0
+}
+
+fn private_needs_no_docs(x: f32) -> f32 {
+    x
+}

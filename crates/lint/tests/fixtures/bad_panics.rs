@@ -1,0 +1,32 @@
+//! Lint fixture: known-bad panic patterns in a library crate.
+//! Never compiled — read by `tests/fixtures.rs` via `include_str!`.
+
+pub fn first(xs: &[f32]) -> f32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("not a number")
+}
+
+pub fn unsupported() -> ! {
+    panic!("not supported");
+}
+
+pub fn later() {
+    todo!("finish this")
+}
+
+pub fn never() {
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside a test module the same patterns are fine.
+    #[test]
+    fn unwrap_is_ok_here() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Lint fixture: unseeded randomness outside tests.
+//! Never compiled — read by `tests/fixtures.rs` via `include_str!`.
+
+pub fn noise() -> f32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn seed_from_os() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.next_u64()
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

@@ -1,0 +1,21 @@
+//! Lint fixture: tensor-op entry point without a shape assert.
+//! Never compiled — read by `tests/fixtures.rs` via `include_str!`.
+
+/// Adds two tensors without checking that their shapes agree.
+pub fn unchecked_add(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    for (o, v) in out.data.iter_mut().zip(b.data.iter()) {
+        *o += v;
+    }
+    out
+}
+
+/// Multiplies two tensors; the assert satisfies the rule.
+pub fn checked_mul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "mul: shape mismatch");
+    let mut out = a.clone();
+    for (o, v) in out.data.iter_mut().zip(b.data.iter()) {
+        *o *= v;
+    }
+    out
+}

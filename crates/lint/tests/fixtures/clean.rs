@@ -1,0 +1,26 @@
+//! Lint fixture: a file every rule should accept.
+//! Never compiled — read by `tests/fixtures.rs` via `include_str!`.
+
+/// Returns the first element, or zero for an empty slice.
+pub fn first_or_zero(xs: &[f32]) -> f32 {
+    xs.first().copied().unwrap_or(0.0)
+}
+
+/// Sums a slice; mentions "unwrap()" and thread_rng only in this doc
+/// comment and in the string below, which the lexer must ignore.
+pub fn sum(xs: &[f32]) -> f32 {
+    let _note = "calling .unwrap() or thread_rng() in a string is fine";
+    // .expect( in a comment is fine too
+    xs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_allowed_in_tests() {
+        let v: Option<f32> = Some(1.0);
+        assert_eq!(v.unwrap(), 1.0);
+    }
+}

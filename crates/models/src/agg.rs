@@ -146,14 +146,7 @@ mod tests {
         );
         let mut g = Graph::new(&params);
         let mut rng = StdRng::seed_from_u64(1);
-        let rep = mean_self_neighbors(
-            &mut g,
-            emb,
-            &graph,
-            &[NodeId(0), NodeId(3)],
-            4,
-            &mut rng,
-        );
+        let rep = mean_self_neighbors(&mut g, emb, &graph, &[NodeId(0), NodeId(3)], 4, &mut rng);
         let t = g.value(rep);
         assert_eq!(t.rows(), 2);
         // Node 0's only neighbor is 1 → mean of rows {0, 1, 1, ...} ∈ (0, 1].

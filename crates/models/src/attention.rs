@@ -66,10 +66,7 @@ mod tests {
         let b = params.register("b", Tensor::zeros(1, 4));
         let q = params.register("q", InitKind::XavierUniform.init(4, 1, &mut rng));
         let mut g = Graph::new(&params);
-        let z = g.constant(Tensor::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]));
+        let z = g.constant(Tensor::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]));
         let (pooled, attn) = semantic_attention(&mut g, z, w, b, q);
         let a = g.value(attn);
         let sum: f32 = a.row(0).iter().sum();
@@ -78,5 +75,84 @@ mod tests {
         // Convex combination of one-hot rows: entries in [0,1], sum 1.
         let psum: f32 = p.row(0).iter().sum();
         assert!((psum - 1.0).abs() < 1e-5, "{p:?}");
+    }
+
+    /// Finite-difference gradient checks for both attention blocks, compiled
+    /// under `--features checked` so every forward pass the checker runs is
+    /// also swept by the dynamic sanitizer.
+    #[cfg(feature = "checked")]
+    mod gradients {
+        use super::*;
+        use mhg_autograd::gradcheck::check_gradients;
+        use proptest::prelude::*;
+
+        fn assert_checks_pass(
+            checks: Vec<mhg_autograd::gradcheck::GradCheck>,
+        ) -> Result<(), TestCaseError> {
+            for c in checks {
+                prop_assert!(
+                    c.max_rel_err < 5e-2 || c.max_abs_err < 1e-3,
+                    "param #{} rel {:.2e} abs {:.2e}",
+                    c.id.index(),
+                    c.max_rel_err,
+                    c.max_abs_err
+                );
+            }
+            Ok(())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn semantic_attention_matches_finite_differences(
+                seed in 0u64..1_000_000,
+                s in 2usize..5,
+                d in 2usize..5,
+                ds in 2usize..5,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let z_t = InitKind::XavierUniform.init(s, d, &mut rng);
+                let mut params = ParamStore::new();
+                let w = params.register("w", InitKind::XavierUniform.init(d, ds, &mut rng));
+                let b = params.register("b", Tensor::zeros(1, ds));
+                let q = params.register("q", InitKind::XavierUniform.init(ds, 1, &mut rng));
+                let checks = check_gradients(
+                    &mut params,
+                    |g| {
+                        let z = g.constant(z_t.clone());
+                        let (pooled, _) = semantic_attention(g, z, w, b, q);
+                        let sq = g.mul(pooled, pooled);
+                        g.sum_all(sq)
+                    },
+                    1e-2,
+                );
+                assert_checks_pass(checks)?;
+            }
+
+            #[test]
+            fn dot_attention_matches_finite_differences(
+                seed in 0u64..1_000_000,
+                n in 2usize..6,
+                d in 2usize..5,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut params = ParamStore::new();
+                let qp = params.register("query", InitKind::XavierUniform.init(1, d, &mut rng));
+                let kp = params.register("keys", InitKind::XavierUniform.init(n, d, &mut rng));
+                let checks = check_gradients(
+                    &mut params,
+                    |g| {
+                        let query = g.param(qp);
+                        let keys = g.param(kp);
+                        let pooled = dot_attention_pool(g, query, keys);
+                        let sq = g.mul(pooled, pooled);
+                        g.sum_all(sq)
+                    },
+                    1e-2,
+                );
+                assert_checks_pass(checks)?;
+            }
+        }
     }
 }

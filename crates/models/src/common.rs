@@ -1,7 +1,7 @@
 //! The shared model interface, hyper-parameters and training utilities.
 
-use mhg_graph::{MultiplexGraph, NodeId, NodeTypeId, RelationId};
 use mhg_datasets::LabeledEdge;
+use mhg_graph::{MultiplexGraph, NodeId, NodeTypeId, RelationId};
 use mhg_tensor::Tensor;
 use rand::rngs::StdRng;
 

@@ -157,10 +157,30 @@ mod tests {
         // separates them perfectly.
         let r = RelationId(0);
         let edges = vec![
-            LabeledEdge { u: NodeId(0), v: NodeId(1), relation: r, label: true },
-            LabeledEdge { u: NodeId(5), v: NodeId(6), relation: r, label: true },
-            LabeledEdge { u: NodeId(0), v: NodeId(9), relation: r, label: false },
-            LabeledEdge { u: NodeId(5), v: NodeId(0), relation: r, label: false },
+            LabeledEdge {
+                u: NodeId(0),
+                v: NodeId(1),
+                relation: r,
+                label: true,
+            },
+            LabeledEdge {
+                u: NodeId(5),
+                v: NodeId(6),
+                relation: r,
+                label: true,
+            },
+            LabeledEdge {
+                u: NodeId(0),
+                v: NodeId(9),
+                relation: r,
+                label: false,
+            },
+            LabeledEdge {
+                u: NodeId(5),
+                v: NodeId(0),
+                relation: r,
+                label: false,
+            },
         ];
         let m = evaluate(&Oracle, &edges);
         assert!((m.roc_auc - 1.0).abs() < 1e-9);
@@ -178,11 +198,31 @@ mod tests {
         let g = chain_graph(20);
         let r = RelationId(0);
         let test = vec![
-            LabeledEdge { u: NodeId(3), v: NodeId(4), relation: r, label: true },
-            LabeledEdge { u: NodeId(3), v: NodeId(2), relation: r, label: true },
-            LabeledEdge { u: NodeId(10), v: NodeId(11), relation: r, label: true },
+            LabeledEdge {
+                u: NodeId(3),
+                v: NodeId(4),
+                relation: r,
+                label: true,
+            },
+            LabeledEdge {
+                u: NodeId(3),
+                v: NodeId(2),
+                relation: r,
+                label: true,
+            },
+            LabeledEdge {
+                u: NodeId(10),
+                v: NodeId(11),
+                relation: r,
+                label: true,
+            },
             // Negatives in the test set are ignored by query building.
-            LabeledEdge { u: NodeId(3), v: NodeId(15), relation: r, label: false },
+            LabeledEdge {
+                u: NodeId(3),
+                v: NodeId(15),
+                relation: r,
+                label: false,
+            },
         ];
         let mut rng = StdRng::seed_from_u64(1);
         let queries = ranking_queries(&Oracle, &g, &test, 10, 100, &mut rng);

@@ -22,8 +22,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::common::{
-    CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision,
-    TrainReport,
+    CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision, TrainReport,
 };
 
 const NEIGHBOR_FAN: usize = 6;
@@ -92,15 +91,20 @@ impl Gatne {
         let p = GatneParams {
             base: params.register(
                 "base",
-                InitKind::Uniform { limit: 0.5 / dim as f32 }.init(n, dim, rng),
+                InitKind::Uniform {
+                    limit: 0.5 / dim as f32,
+                }
+                .init(n, dim, rng),
             ),
             ctx: params.register("ctx", Tensor::zeros(n, dim)),
             edge: (0..num_rel)
                 .map(|i| {
                     params.register(
                         format!("edge_r{i}"),
-                        InitKind::Uniform { limit: 0.5 / edge_dim as f32 }
-                            .init(n, edge_dim, rng),
+                        InitKind::Uniform {
+                            limit: 0.5 / edge_dim as f32,
+                        }
+                        .init(n, edge_dim, rng),
                     )
                 })
                 .collect(),
@@ -208,8 +212,7 @@ impl Gatne {
             .map(|r| {
                 let mut table = Tensor::zeros(nodes.len(), dim);
                 for (ci, chunk) in nodes.chunks(BATCH).enumerate() {
-                    let items: Vec<(NodeId, RelationId)> =
-                        chunk.iter().map(|&v| (v, r)).collect();
+                    let items: Vec<(NodeId, RelationId)> = chunk.iter().map(|&v| (v, r)).collect();
                     let mut g = Graph::new(params);
                     let rep = Self::represent_batch(&mut g, p, graph, &items, rng);
                     for (i, row) in g.value(rep).rows_iter().enumerate() {
@@ -248,8 +251,7 @@ impl LinkPredictor for Gatne {
                         continue;
                     }
                     for _ in 0..cfg.walks_per_node.min(4) {
-                        let walk =
-                            walk_in_relation(graph, r, start, cfg.walk_length, rng);
+                        let walk = walk_in_relation(graph, r, start, cfg.walk_length, rng);
                         for pair in pairs_from_walk(&walk, cfg.window) {
                             tagged.push((pair, r));
                         }
@@ -303,8 +305,8 @@ impl LinkPredictor for Gatne {
             report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
 
             let tables = Self::full_inference(&params, &p, graph, rng);
-            let snapshot = EmbeddingScores::per_relation(tables)
-                .with_context(params.value(p.ctx).clone());
+            let snapshot =
+                EmbeddingScores::per_relation(tables).with_context(params.value(p.ctx).clone());
             let auc = crate::common::val_auc(&snapshot, data.val);
             match stopper.update(auc) {
                 StopDecision::Improved => self.scores = snapshot,
@@ -314,8 +316,8 @@ impl LinkPredictor for Gatne {
         }
         if !self.scores.is_ready() {
             let tables = Self::full_inference(&params, &p, graph, rng);
-            self.scores = EmbeddingScores::per_relation(tables)
-                .with_context(params.value(p.ctx).clone());
+            self.scores =
+                EmbeddingScores::per_relation(tables).with_context(params.value(p.ctx).clone());
         }
         report.best_val_auc = stopper.best();
         report

@@ -71,7 +71,10 @@ impl LinkPredictor for Gcn {
         let mut params = ParamStore::new();
         let emb = params.register(
             "emb",
-            InitKind::Uniform { limit: 0.5 / dim as f32 }.init(graph.num_nodes(), dim, rng),
+            InitKind::Uniform {
+                limit: 0.5 / dim as f32,
+            }
+            .init(graph.num_nodes(), dim, rng),
         );
         let w1 = params.register("w1", InitKind::XavierUniform.init(dim, dim, rng));
         let mut opt = Adam::new(cfg.lr.min(0.01));
@@ -110,8 +113,7 @@ impl LinkPredictor for Gcn {
                 let mut g = Graph::new(&params);
                 let w = g.param(w1);
                 let left_agg = mean_self_neighbors(&mut g, emb, graph, &lefts, FAN_OUT, rng);
-                let right_agg =
-                    mean_self_neighbors(&mut g, emb, graph, &rights, FAN_OUT, rng);
+                let right_agg = mean_self_neighbors(&mut g, emb, graph, &rights, FAN_OUT, rng);
                 let hl = {
                     let lin = g.matmul(left_agg, w);
                     g.tanh(lin)

@@ -133,8 +133,10 @@ impl LinkPredictor for GraphSage {
         let p = SageParams {
             emb: params.register(
                 "emb",
-                InitKind::Uniform { limit: 0.5 / dim as f32 }
-                    .init(graph.num_nodes(), dim, rng),
+                InitKind::Uniform {
+                    limit: 0.5 / dim as f32,
+                }
+                .init(graph.num_nodes(), dim, rng),
             ),
             w_self1: params.register("w_self1", InitKind::XavierUniform.init(dim, dim, rng)),
             w_neigh1: params.register("w_neigh1", InitKind::XavierUniform.init(dim, dim, rng)),
@@ -187,8 +189,7 @@ impl LinkPredictor for GraphSage {
             report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
 
             let all: Vec<NodeId> = graph.nodes().collect();
-            let snapshot =
-                EmbeddingScores::shared(Self::represent(&params, &p, graph, &all, rng));
+            let snapshot = EmbeddingScores::shared(Self::represent(&params, &p, graph, &all, rng));
             let auc = val_auc(&snapshot, data.val);
             match stopper.update(auc) {
                 StopDecision::Improved => self.scores = snapshot,
@@ -198,8 +199,7 @@ impl LinkPredictor for GraphSage {
         }
         if !self.scores.is_ready() {
             let all: Vec<NodeId> = graph.nodes().collect();
-            self.scores =
-                EmbeddingScores::shared(Self::represent(&params, &p, graph, &all, rng));
+            self.scores = EmbeddingScores::shared(Self::represent(&params, &p, graph, &all, rng));
         }
         report.best_val_auc = stopper.best();
         report

@@ -79,8 +79,7 @@ impl Han {
                 continue;
             }
             let layers = sampler.sample(v, scheme, rng);
-            let Some(finals) = layers.last().filter(|_| layers.len() == scheme.len() + 1)
-            else {
+            let Some(finals) = layers.last().filter(|_| layers.len() == scheme.len() + 1) else {
                 continue;
             };
             let ids: Vec<u32> = finals.iter().take(MAX_NEIGHBORS).map(|n| n.0).collect();
@@ -159,12 +158,17 @@ impl LinkPredictor for Han {
         let p = HanParams {
             emb: params.register(
                 "emb",
-                InitKind::Uniform { limit: 0.5 / dim as f32 }
-                    .init(graph.num_nodes(), dim, rng),
+                InitKind::Uniform {
+                    limit: 0.5 / dim as f32,
+                }
+                .init(graph.num_nodes(), dim, rng),
             ),
             w_scheme: (0..=schemes.len())
                 .map(|i| {
-                    params.register(format!("w_p{i}"), InitKind::XavierUniform.init(dim, dim, rng))
+                    params.register(
+                        format!("w_p{i}"),
+                        InitKind::XavierUniform.init(dim, dim, rng),
+                    )
                 })
                 .collect(),
             w_sem: params.register("w_sem", InitKind::XavierUniform.init(dim, ds, rng)),
@@ -216,9 +220,8 @@ impl LinkPredictor for Han {
             report.epochs_run = epoch + 1;
             report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
 
-            let snapshot = EmbeddingScores::shared(Self::full_inference(
-                &params, &p, graph, &schemes, rng,
-            ));
+            let snapshot =
+                EmbeddingScores::shared(Self::full_inference(&params, &p, graph, &schemes, rng));
             let auc = val_auc(&snapshot, data.val);
             match stopper.update(auc) {
                 StopDecision::Improved => self.scores = snapshot,
@@ -227,9 +230,8 @@ impl LinkPredictor for Han {
             }
         }
         if !self.scores.is_ready() {
-            self.scores = EmbeddingScores::shared(Self::full_inference(
-                &params, &p, graph, &schemes, rng,
-            ));
+            self.scores =
+                EmbeddingScores::shared(Self::full_inference(&params, &p, graph, &schemes, rng));
         }
         report.best_val_auc = stopper.best();
         report

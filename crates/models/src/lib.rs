@@ -29,8 +29,8 @@ mod rgcn;
 mod sgns;
 
 pub use common::{
-    pair_budget, val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision,
-    TrainReport,
+    pair_budget, val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor,
+    StopDecision, TrainReport,
 };
 pub use deepwalk::DeepWalk;
 pub use evaluate::{evaluate, ranking_queries, ModelMetrics};

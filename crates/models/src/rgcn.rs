@@ -103,12 +103,7 @@ impl RGcn {
         out
     }
 
-    fn snapshot_auc(
-        &self,
-        reps: &Tensor,
-        diag: &Tensor,
-        val: &[mhg_datasets::LabeledEdge],
-    ) -> f64 {
+    fn snapshot_auc(&self, reps: &Tensor, diag: &Tensor, val: &[mhg_datasets::LabeledEdge]) -> f64 {
         if val.is_empty() {
             return 0.5;
         }
@@ -145,13 +140,18 @@ impl LinkPredictor for RGcn {
         let p = RgcnParams {
             emb: params.register(
                 "emb",
-                InitKind::Uniform { limit: 0.5 / dim as f32 }
-                    .init(graph.num_nodes(), dim, rng),
+                InitKind::Uniform {
+                    limit: 0.5 / dim as f32,
+                }
+                .init(graph.num_nodes(), dim, rng),
             ),
             w_self: params.register("w_self", InitKind::XavierUniform.init(dim, dim, rng)),
             w_rel: (0..num_rel)
                 .map(|i| {
-                    params.register(format!("w_r{i}"), InitKind::XavierUniform.init(dim, dim, rng))
+                    params.register(
+                        format!("w_r{i}"),
+                        InitKind::XavierUniform.init(dim, dim, rng),
+                    )
                 })
                 .collect(),
             rel_diag: params.register(

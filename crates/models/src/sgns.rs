@@ -49,13 +49,13 @@ impl Sgns {
             let p = sigmoid_scalar(s);
             loss -= mhg_tensor::log_sigmoid(s);
             let g = p - 1.0; // d loss / d s
-            accumulate(
-                &mut center_grad,
-                self.ctx.row(context.index()),
-                g,
-            );
+            accumulate(&mut center_grad, self.ctx.row(context.index()), g);
             let (emb, ctx) = (&self.emb, &mut self.ctx);
-            update_row(ctx.row_mut(context.index()), emb.row(center.index()), -lr * g);
+            update_row(
+                ctx.row_mut(context.index()),
+                emb.row(center.index()),
+                -lr * g,
+            );
         }
 
         for &neg in negatives {

@@ -75,7 +75,7 @@ impl<'g> InterRelationshipExplorer<'g> {
         let mut layers = Vec::with_capacity(depth + 1);
         layers.push(vec![v]);
         for _ in 0..depth {
-            let frontier = layers.last().unwrap();
+            let Some(frontier) = layers.last() else { break };
             let mut next = Vec::with_capacity(frontier.len().saturating_mul(fan_out));
             for &u in frontier {
                 for _ in 0..fan_out {

@@ -74,10 +74,22 @@ impl<'g> MetapathNeighborSampler<'g> {
                 if candidates.is_empty() {
                     continue;
                 }
-                for _ in 0..self.fan_out.min(candidates.len()) {
-                    next.push(candidates[rng.gen_range(0..candidates.len())]);
-                    if next.len() >= self.max_layer {
-                        break;
+                if candidates.len() <= self.fan_out {
+                    // Small neighborhood: take every candidate exactly once
+                    // instead of drawing with replacement, so coverage does
+                    // not depend on the RNG stream.
+                    for &w in &candidates {
+                        next.push(w);
+                        if next.len() >= self.max_layer {
+                            break;
+                        }
+                    }
+                } else {
+                    for _ in 0..self.fan_out {
+                        next.push(candidates[rng.gen_range(0..candidates.len())]);
+                        if next.len() >= self.max_layer {
+                            break;
+                        }
                     }
                 }
                 if next.len() >= self.max_layer {
@@ -127,7 +139,7 @@ impl<'g> UniformNeighborSampler<'g> {
         let mut layers: LayeredNeighbors = Vec::with_capacity(depth + 1);
         layers.push(vec![v]);
         for _ in 0..depth {
-            let frontier = layers.last().unwrap();
+            let Some(frontier) = layers.last() else { break };
             let mut next = Vec::new();
             for &u in frontier {
                 // Merge neighbors across relations, then sample.

@@ -57,10 +57,22 @@ mod tests {
         assert_eq!(
             pairs,
             vec![
-                Pair { center: n(0), context: n(1) },
-                Pair { center: n(1), context: n(0) },
-                Pair { center: n(1), context: n(2) },
-                Pair { center: n(2), context: n(1) },
+                Pair {
+                    center: n(0),
+                    context: n(1)
+                },
+                Pair {
+                    center: n(1),
+                    context: n(0)
+                },
+                Pair {
+                    center: n(1),
+                    context: n(2)
+                },
+                Pair {
+                    center: n(2),
+                    context: n(1)
+                },
             ]
         );
     }
@@ -93,8 +105,6 @@ mod tests {
         let pairs = pairs_from_walks(&walks, 1);
         assert_eq!(pairs.len(), 4);
         // No cross-walk pairs.
-        assert!(!pairs
-            .iter()
-            .any(|p| (p.center.0 < 2) != (p.context.0 < 2)));
+        assert!(!pairs.iter().any(|p| (p.center.0 < 2) != (p.context.0 < 2)));
     }
 }

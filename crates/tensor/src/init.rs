@@ -28,9 +28,7 @@ impl InitKind {
     pub fn init<R: Rng + ?Sized>(self, rows: usize, cols: usize, rng: &mut R) -> Tensor {
         match self {
             InitKind::Zeros => Tensor::zeros(rows, cols),
-            InitKind::Uniform { limit } => {
-                sample(rows, cols, || rng.gen_range(-limit..=limit))
-            }
+            InitKind::Uniform { limit } => sample(rows, cols, || rng.gen_range(-limit..=limit)),
             InitKind::XavierUniform => xavier_uniform(rows, cols, rng),
             InitKind::Normal { std } => {
                 let mut gauss = GaussSource::default();
@@ -114,10 +112,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let t = InitKind::Normal { std: 2.0 }.init(100, 100, &mut rng);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / (t.len() - 1) as f32;
+        let var =
+            t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (t.len() - 1) as f32;
         assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
-        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
+        assert!(
+            (var.sqrt() - 2.0).abs() < 0.1,
+            "std {} too far from 2",
+            var.sqrt()
+        );
     }
 
     #[test]

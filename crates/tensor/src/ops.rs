@@ -8,6 +8,24 @@
 
 use crate::Tensor;
 
+/// Routes an op's output through [`Tensor::assert_finite`] under the
+/// `checked` feature; compiles to a move otherwise.
+#[inline(always)]
+fn guard(out: Tensor, _op: &str) -> Tensor {
+    #[cfg(feature = "checked")]
+    out.assert_finite(_op);
+    out
+}
+
+/// Scalar counterpart of [`guard`]: rejects NaN/Inf reduction results under
+/// the `checked` feature.
+#[inline(always)]
+fn guard_scalar(v: f32, _op: &str) -> f32 {
+    #[cfg(feature = "checked")]
+    assert!(v.is_finite(), "{_op}: non-finite scalar result {v}");
+    v
+}
+
 impl Tensor {
     /// Matrix product `self · rhs`.
     ///
@@ -43,7 +61,7 @@ impl Tensor {
                 }
             }
         }
-        out
+        guard(out, "matmul")
     }
 
     /// Matrix product `self · rhsᵀ` without materialising the transpose.
@@ -73,7 +91,7 @@ impl Tensor {
                 *out_v = acc;
             }
         }
-        out
+        guard(out, "matmul_transposed")
     }
 
     /// Returns the transposed tensor.
@@ -85,7 +103,7 @@ impl Tensor {
                 out[(j, i)] = self[(i, j)];
             }
         }
-        out
+        guard(out, "transpose")
     }
 
     /// Elementwise binary op into a fresh tensor.
@@ -101,13 +119,13 @@ impl Tensor {
             .zip(rhs.as_slice())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Tensor::from_vec(self.rows(), self.cols(), data)
+        guard(Tensor::from_vec(self.rows(), self.cols(), data), "zip_map")
     }
 
     /// Elementwise unary op into a fresh tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.as_slice().iter().map(|&a| f(a)).collect();
-        Tensor::from_vec(self.rows(), self.cols(), data)
+        guard(Tensor::from_vec(self.rows(), self.cols(), data), "map")
     }
 
     /// Elementwise sum.
@@ -140,6 +158,8 @@ impl Tensor {
         for (a, b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
             *a += alpha * b;
         }
+        #[cfg(feature = "checked")]
+        self.assert_finite("axpy");
     }
 
     /// Adds a `1 × cols` row vector to every row.
@@ -156,12 +176,12 @@ impl Tensor {
                 *o += b;
             }
         }
-        out
+        guard(out, "add_row_broadcast")
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.as_slice().iter().sum()
+        guard_scalar(self.as_slice().iter().sum(), "sum")
     }
 
     /// Arithmetic mean of all elements (0 for an empty tensor).
@@ -188,7 +208,7 @@ impl Tensor {
         for o in out.as_mut_slice() {
             *o *= inv;
         }
-        out
+        guard(out, "mean_rows")
     }
 
     /// Dot product of row `i` of `self` with row `j` of `rhs`.
@@ -198,16 +218,15 @@ impl Tensor {
     /// Panics if widths differ.
     pub fn row_dot(&self, i: usize, rhs: &Tensor, j: usize) -> f32 {
         assert_eq!(self.cols(), rhs.cols(), "row_dot width mismatch");
-        self.row(i)
-            .iter()
-            .zip(rhs.row(j))
-            .map(|(a, b)| a * b)
-            .sum()
+        guard_scalar(
+            self.row(i).iter().zip(rhs.row(j)).map(|(a, b)| a * b).sum(),
+            "row_dot",
+        )
     }
 
     /// Squared Frobenius norm.
     pub fn norm_sq(&self) -> f32 {
-        self.as_slice().iter().map(|v| v * v).sum()
+        guard_scalar(self.as_slice().iter().map(|v| v * v).sum(), "norm_sq")
     }
 
     /// Numerically-stable row-wise softmax.
@@ -226,7 +245,7 @@ impl Tensor {
                 *v *= inv;
             }
         }
-        out
+        guard(out, "softmax_rows")
     }
 
     /// Elementwise logistic sigmoid.
@@ -248,7 +267,7 @@ impl Tensor {
             assert_eq!(p.cols(), cols, "vstack width mismatch");
             data.extend_from_slice(p.as_slice());
         }
-        Tensor::from_vec(rows, cols, data)
+        guard(Tensor::from_vec(rows, cols, data), "vstack")
     }
 
     /// Gathers rows by index into a fresh tensor.
@@ -259,9 +278,14 @@ impl Tensor {
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         let mut out = Tensor::zeros(indices.len(), self.cols());
         for (r, &idx) in indices.iter().enumerate() {
+            assert!(
+                idx < self.rows(),
+                "gather_rows index {idx} out of bounds for {} rows",
+                self.rows()
+            );
             out.set_row(r, self.row(idx));
         }
-        out
+        guard(out, "gather_rows")
     }
 }
 

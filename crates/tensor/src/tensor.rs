@@ -168,6 +168,39 @@ impl Tensor {
         self.data.iter().all(|v| v.is_finite())
     }
 
+    /// Panics with a diagnostic if any element is NaN or infinite.
+    ///
+    /// `context` names the operation or value being checked and is included
+    /// in the panic message together with the position and value of the
+    /// first offending element and the total count of non-finite entries.
+    /// Under `--features checked` every kernel in [`crate::Tensor`] routes
+    /// its output through this check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor contains a non-finite element.
+    pub fn assert_finite(&self, context: &str) {
+        if self.all_finite() {
+            return;
+        }
+        let bad = self.data.iter().filter(|v| !v.is_finite()).count();
+        let (first, value) = self
+            .data
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+            .map(|(i, v)| (i, *v))
+            .unwrap_or((0, f32::NAN));
+        let cols = self.shape.cols.max(1);
+        panic!(
+            "{context}: tensor {shape} contains {bad} non-finite element(s); \
+             first at ({r}, {c}) = {value}",
+            shape = self.shape,
+            r = first / cols,
+            c = first % cols,
+        );
+    }
+
     /// Maximum absolute difference against another tensor of the same shape.
     ///
     /// # Panics

@@ -70,7 +70,10 @@ fn main() {
     persist::save(&graph, &path).expect("save snapshot");
     let reloaded = persist::load(&path).expect("load snapshot");
     assert_eq!(reloaded.num_edges(), graph.num_edges());
-    println!("snapshot round-trip OK ({} bytes)", std::fs::metadata(&path).unwrap().len());
+    println!(
+        "snapshot round-trip OK ({} bytes)",
+        std::fs::metadata(&path).unwrap().len()
+    );
 
     // 4. Train HybridGNN with custom metapath shapes (P-P-P follower
     //    chains and P-Pr-P co-purchase paths).

@@ -67,10 +67,7 @@ fn main() {
     //    score very differently under different behaviours — that is the
     //    point of multiplex representations.
     if let Some(edge) = split.test.iter().find(|e| e.label) {
-        println!(
-            "\npair {} → {} scored per relation:",
-            edge.u, edge.v
-        );
+        println!("\npair {} → {} scored per relation:", edge.u, edge.v);
         for r in graph.schema().relations() {
             println!(
                 "  {:<14} {:+.4}",

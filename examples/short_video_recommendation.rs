@@ -63,7 +63,11 @@ fn main() {
         println!(
             "  {:>2}. {video}  score {score:+.4}{}",
             rank + 1,
-            if held_out { "  (held-out true like!)" } else { "" }
+            if held_out {
+                "  (held-out true like!)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -94,7 +94,9 @@ fn parsed<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: {v}")),
     }
 }
 
@@ -103,8 +105,7 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let out: PathBuf = required(flags, "out")?.into();
     let scale: f64 = parsed(flags, "scale", 0.05)?;
     let seed: u64 = parsed(flags, "seed", 42)?;
-    let kind =
-        DatasetKind::parse(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let kind = DatasetKind::parse(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let dataset = kind.generate(scale, seed);
     persist::save(&dataset.graph, &out).map_err(|e| e.to_string())?;
     println!(
@@ -264,16 +265,10 @@ fn default_shapes(graph: &MultiplexGraph) -> Vec<Vec<NodeTypeId>> {
             }
         }
     }
-    connected
-        .into_iter()
-        .map(|(a, b)| vec![a, b, a])
-        .collect()
+    connected.into_iter().map(|(a, b)| vec![a, b, a]).collect()
 }
 
-fn parse_shapes(
-    graph: &MultiplexGraph,
-    spec: &str,
-) -> Result<Vec<Vec<NodeTypeId>>, String> {
+fn parse_shapes(graph: &MultiplexGraph, spec: &str) -> Result<Vec<Vec<NodeTypeId>>, String> {
     spec.split(',')
         .map(|shape| {
             shape
@@ -330,10 +325,7 @@ fn save_embeddings(
 }
 
 #[allow(clippy::type_complexity)]
-fn load_embeddings(
-    path: &PathBuf,
-    graph: &MultiplexGraph,
-) -> Result<Vec<Vec<Vec<f32>>>, String> {
+fn load_embeddings(path: &PathBuf, graph: &MultiplexGraph) -> Result<Vec<Vec<Vec<f32>>>, String> {
     let data = std::fs::read(path).map_err(|e| e.to_string())?;
     let mut buf = data.as_slice();
     if buf.remaining() < 16 {

@@ -49,7 +49,9 @@ fn g1_single_node_type_flows() {
         assert!(labels.contains(&"random"));
         // The only metapath label possible is the I-I-I instantiation.
         assert!(
-            labels.iter().all(|&l| l == "random" || l == "item-item-item"),
+            labels
+                .iter()
+                .all(|&l| l == "random" || l == "item-item-item"),
             "{labels:?}"
         );
     }

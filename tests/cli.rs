@@ -34,7 +34,11 @@ fn full_workflow() {
         .arg(&graph_path)
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(graph_path.exists());
 
     // stats
@@ -56,7 +60,11 @@ fn full_workflow() {
         .arg(&model_path)
         .output()
         .expect("run train");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("ROC-AUC"), "{text}");
     assert!(model_path.exists());
@@ -70,7 +78,11 @@ fn full_workflow() {
         .args(["--node", "0", "--relation", "page-view", "--k", "3"])
         .output()
         .expect("run recommend");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("top-3"), "{text}");
 
@@ -101,7 +113,14 @@ fn helpful_errors() {
     // Unknown relation on a real graph.
     let graph_path = temp_path("errors.mhg");
     let out = cli()
-        .args(["generate", "--dataset", "amazon", "--scale", "0.005", "--out"])
+        .args([
+            "generate",
+            "--dataset",
+            "amazon",
+            "--scale",
+            "0.005",
+            "--out",
+        ])
         .arg(&graph_path)
         .output()
         .expect("run");
@@ -109,7 +128,14 @@ fn helpful_errors() {
     let out = cli()
         .args(["recommend", "--graph"])
         .arg(&graph_path)
-        .args(["--model", "/nonexistent.emb", "--node", "0", "--relation", "buy"])
+        .args([
+            "--model",
+            "/nonexistent.emb",
+            "--node",
+            "0",
+            "--relation",
+            "buy",
+        ])
         .output()
         .expect("run");
     assert!(!out.status.success());

@@ -100,8 +100,12 @@ fn ablation_variants_end_to_end() {
     ];
     for (i, mut cfg) in variants.into_iter().enumerate() {
         cfg.common.epochs = 2;
-        let (model, _, split) =
-            tiny_fit(HybridGnn::new(cfg), DatasetKind::Taobao, 0.005, 10 + i as u64);
+        let (model, _, split) = tiny_fit(
+            HybridGnn::new(cfg),
+            DatasetKind::Taobao,
+            0.005,
+            10 + i as u64,
+        );
         let m = evaluate(&model, &split.test);
         assert!(m.roc_auc.is_finite(), "variant {i}");
     }

@@ -1,0 +1,174 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this hand-written shim. It implements the surface used by the repo's
+//! benches — [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`] — with a simple
+//! median-of-samples timer instead of upstream's statistical machinery.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Times closures and reports per-iteration latency.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+        };
+        body(&mut bencher);
+        println!("bench {name:<44} {:>12.1} ns/iter", bencher.median_ns);
+        self
+    }
+
+    /// Opens a named group; benchmarks run as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+        };
+        body(&mut bencher);
+        let label = format!("{}/{}", self.name, name);
+        println!("bench {label:<44} {:>12.1} ns/iter", bencher.median_ns);
+        self
+    }
+
+    /// Ends the group. Upstream emits summary statistics here; the shim
+    /// keeps it for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median over the configured samples.
+    ///
+    /// Each sample runs enough iterations to amortise timer resolution
+    /// (at least 1, targeting ~1 ms per sample after a calibration pass).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibration: find an iteration count that takes ≥ ~1 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_micros() >= 1000 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64.wrapping_mul(3)));
+        });
+        assert!(ran);
+    }
+}
