@@ -15,10 +15,26 @@ use mhg_models::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// The ten model names of Tables IV–V, in the paper's row order. This is
+/// the vocabulary of the `--models` filter.
+pub const MODEL_NAMES: [&str; 10] = [
+    "DeepWalk",
+    "node2vec",
+    "LINE",
+    "GCN",
+    "GraphSage",
+    "HAN",
+    "MAGNN",
+    "R-GCN",
+    "GATNE",
+    "HybridGNN",
+];
+
 /// Common experiment options, parsed from `std::env::args`.
 ///
 /// Flags: `--scale <f64>`, `--seed <u64>`, `--epochs <usize>`,
-/// `--dim <usize>`, `--runs <usize>`, `--k <usize>`, `--datasets a,b,c`.
+/// `--dim <usize>`, `--runs <usize>`, `--k <usize>`, `--datasets a,b,c`,
+/// `--models a,b,c`.
 #[derive(Clone, Debug)]
 pub struct ExpConfig {
     /// Dataset scale relative to the paper's published sizes.
@@ -40,6 +56,8 @@ pub struct ExpConfig {
     pub max_queries: usize,
     /// Dataset filter (empty = the experiment's default set).
     pub datasets: Vec<DatasetKind>,
+    /// Model filter, canonical [`MODEL_NAMES`] entries (empty = all ten).
+    pub models: Vec<String>,
 }
 
 impl Default for ExpConfig {
@@ -54,6 +72,7 @@ impl Default for ExpConfig {
             pool: 200,
             max_queries: 150,
             datasets: Vec::new(),
+            models: Vec::new(),
         }
     }
 }
@@ -100,10 +119,26 @@ impl ExpConfig {
                         })
                         .collect();
                 }
+                "--models" => {
+                    cfg.models = value
+                        .as_ref()
+                        .expect("--models requires a comma list")
+                        .split(',')
+                        .map(|s| {
+                            MODEL_NAMES
+                                .iter()
+                                .find(|n| n.eq_ignore_ascii_case(s.trim()))
+                                .unwrap_or_else(|| panic!("unknown model {s:?} (see --help)"))
+                                .to_string()
+                        })
+                        .collect();
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale f --seed n --epochs n --dim n --runs n --k n \
-                         --pool n --max-queries n --datasets a,b,c"
+                         --pool n --max-queries n --datasets a,b,c --models a,b,c\n\
+                         models: {}",
+                        MODEL_NAMES.join(",")
                     );
                     std::process::exit(0);
                 }
@@ -121,6 +156,11 @@ impl ExpConfig {
         } else {
             self.datasets.clone()
         }
+    }
+
+    /// Whether the `--models` filter selects `name` (empty filter = all).
+    pub fn selects(&self, name: &str) -> bool {
+        self.models.is_empty() || self.models.iter().any(|m| m.eq_ignore_ascii_case(name))
     }
 
     /// Shared model hyper-parameters derived from the experiment flags.
@@ -158,6 +198,14 @@ pub fn model_zoo(cfg: &ExpConfig) -> Vec<Box<dyn LinkPredictor>> {
     ]
 }
 
+/// The model zoo after the `--models` filter.
+pub fn filtered_zoo(cfg: &ExpConfig) -> Vec<Box<dyn LinkPredictor>> {
+    model_zoo(cfg)
+        .into_iter()
+        .filter(|m| cfg.selects(m.name()))
+        .collect()
+}
+
 /// All five metric columns of Tables IV–V.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FullMetrics {
@@ -182,6 +230,11 @@ pub fn prepare(kind: DatasetKind, cfg: &ExpConfig, run: usize) -> (Dataset, Edge
 }
 
 /// Trains one model and evaluates the full metric set.
+///
+/// Surfaces the pipeline's per-epoch timing breakdown on stderr, and smoke-
+/// checks the [`mhg_models::TrainReport`]: a NaN loss or a zero-epoch report
+/// under a non-zero epoch budget aborts the experiment instead of publishing
+/// garbage numbers.
 pub fn run_model(
     model: &mut dyn LinkPredictor,
     dataset: &Dataset,
@@ -195,7 +248,30 @@ pub fn run_model(
         metapath_shapes: &dataset.metapath_shapes,
         val: &split.val,
     };
-    model.fit(&data, &mut rng);
+    let report = model.fit(&data, &mut rng);
+    assert!(
+        !report.final_loss.is_nan(),
+        "{}: training diverged (final loss is NaN)",
+        model.name()
+    );
+    assert!(
+        report.epochs_run > 0 || cfg.epochs == 0,
+        "{}: zero-epoch report for a {}-epoch config",
+        model.name(),
+        cfg.epochs
+    );
+    let per = report.timing.per_epoch(report.epochs_run);
+    eprintln!(
+        "    {}: {} epoch(s), loss {:.4}, best val AUC {:.4}, per-epoch \
+         sample {:.0}ms / compute {:.0}ms / eval {:.0}ms",
+        model.name(),
+        report.epochs_run,
+        report.final_loss,
+        report.best_val_auc,
+        per.sample_ms,
+        per.compute_ms,
+        per.eval_ms
+    );
     classification_and_ranking(model, dataset, split, cfg, run)
 }
 
@@ -251,16 +327,17 @@ pub fn print_row(name: &str, m: &FullMetrics) {
 }
 
 /// Runs the Tables IV/V link-prediction comparison over `default_sets`:
-/// all ten models × all metrics, averaged over `cfg.runs` repetitions, with
-/// a Welch t-test of HybridGNN against the best baseline when `runs ≥ 2`.
+/// the selected models × all metrics, averaged over `cfg.runs` repetitions,
+/// with a Welch t-test of HybridGNN against the best baseline when
+/// `runs ≥ 2` and HybridGNN is among the selected models.
 pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind]) {
     for kind in cfg.dataset_set(default_sets) {
-        let model_names: Vec<&'static str> = model_zoo(cfg).iter().map(|m| m.name()).collect();
+        let model_names: Vec<&'static str> = filtered_zoo(cfg).iter().map(|m| m.name()).collect();
         let mut results: Vec<Vec<FullMetrics>> = vec![Vec::new(); model_names.len()];
 
         for run in 0..cfg.runs {
             let (dataset, split) = prepare(kind, cfg, run);
-            for (mi, model) in model_zoo(cfg).iter_mut().enumerate() {
+            for (mi, model) in filtered_zoo(cfg).iter_mut().enumerate() {
                 let started = std::time::Instant::now();
                 let metrics = run_model(model.as_mut(), &dataset, &split, cfg, run);
                 eprintln!(
@@ -278,7 +355,9 @@ pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind])
         }
 
         if cfg.runs >= 2 {
-            let hybrid_idx = model_names.len() - 1;
+            let Some(hybrid_idx) = model_names.iter().position(|n| *n == "HybridGNN") else {
+                continue; // HybridGNN filtered out: nothing to compare
+            };
             let hybrid: Vec<f64> = results[hybrid_idx].iter().map(|m| m.roc_auc).collect();
             // Runner-up = best baseline by mean ROC-AUC. NaN-free because
             // ROC-AUC is bounded; total_cmp keeps the fold total anyway.
@@ -359,6 +438,19 @@ mod tests {
                 "HybridGNN"
             ]
         );
+    }
+
+    #[test]
+    fn models_filter_selects_case_insensitively() {
+        let mut cfg = ExpConfig {
+            epochs: 1,
+            ..ExpConfig::default()
+        };
+        assert!(cfg.selects("HybridGNN"), "empty filter selects everything");
+        cfg.models = vec!["deepwalk".to_string(), "GATNE".to_string()];
+        let names: Vec<&str> = filtered_zoo(&cfg).iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["DeepWalk", "GATNE"]);
+        assert!(!cfg.selects("HybridGNN"));
     }
 
     #[test]

@@ -5,15 +5,15 @@
 use std::collections::HashMap;
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
+use mhg_datasets::LabeledEdge;
 use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, NodeTypeId, RelationId};
-use mhg_models::{
-    EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision, TrainReport,
-};
+use mhg_models::{EmbeddingScores, FitData, LinkPredictor, TrainReport};
 use mhg_sampling::{
     pairs_from_walk, InterRelationshipExplorer, MetapathNeighborSampler, MetapathWalker,
     NegativeSampler, Pair, UniformNeighborSampler,
 };
 use mhg_tensor::{InitKind, Tensor};
+use mhg_train::{pair_batches, BatchLoss, PairExample, TrainStep};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -349,6 +349,86 @@ impl HybridGnn {
     }
 }
 
+/// The `TrainStep` for HybridGNN: hybrid-flow forward per pair batch with a
+/// per-center tape cache, (scores, attention) snapshot on improvement.
+struct HybridStep<'a> {
+    params: ParamStore,
+    p: Params,
+    graph: &'a MultiplexGraph,
+    config: HybridConfig,
+    shapes: Vec<(Vec<NodeTypeId>, String)>,
+    opt: Adam,
+    val: &'a [LabeledEdge],
+    scores: &'a mut EmbeddingScores,
+    attention: &'a mut AttentionProfile,
+    staged: Option<(EmbeddingScores, AttentionProfile)>,
+}
+
+impl TrainStep for HybridStep<'_> {
+    type Batch = Vec<PairExample>;
+
+    fn step(&mut self, batch: Vec<PairExample>, rng: &mut StdRng) -> BatchLoss {
+        let ctx = ForwardCtx {
+            graph: self.graph,
+            config: &self.config,
+            shapes: &self.shapes,
+        };
+        let mut g = Graph::new(&self.params);
+        // One forward per distinct center in the batch.
+        let mut center_cache: HashMap<NodeId, Vec<Var>> = HashMap::new();
+        let mut lefts: Vec<Var> = Vec::new();
+        let mut targets: Vec<u32> = Vec::new();
+        let mut labels: Vec<f32> = Vec::new();
+        for ex in &batch {
+            let e_stars = center_cache.entry(ex.center).or_insert_with(|| {
+                HybridGnn::forward_node(&mut g, &self.p, &ctx, ex.center, rng, false).0
+            });
+            let e = e_stars[ex.relation.index()];
+            lefts.push(e);
+            targets.push(ex.context.0);
+            labels.push(1.0);
+            for &neg in &ex.negatives {
+                lefts.push(e);
+                targets.push(neg.0);
+                labels.push(-1.0);
+            }
+        }
+        let left = g.concat_rows(&lefts);
+        let right = g.gather(self.p.ctx, &targets);
+        let scores = g.row_dot(left, right);
+        let loss = g.logistic_loss(scores, &labels);
+        let loss_sum = g.scalar(loss) as f64;
+        let grads = g.backward(loss);
+        self.opt.step(&mut self.params, &grads);
+        BatchLoss { loss_sum, denom: 1 }
+    }
+
+    fn eval(&mut self, rng: &mut StdRng) -> f64 {
+        let ctx = ForwardCtx {
+            graph: self.graph,
+            config: &self.config,
+            shapes: &self.shapes,
+        };
+        let (tables, attention) = HybridGnn::full_inference(&self.params, &self.p, &ctx, rng);
+        let snapshot = EmbeddingScores::per_relation(tables)
+            .with_context(self.params.value(self.p.ctx).clone());
+        let auc = mhg_models::val_auc(&snapshot, self.val);
+        self.staged = Some((snapshot, attention));
+        auc
+    }
+
+    fn promote(&mut self) {
+        if let Some((scores, attention)) = self.staged.take() {
+            *self.scores = scores;
+            *self.attention = attention;
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.scores.is_ready()
+    }
+}
+
 impl LinkPredictor for HybridGnn {
     fn name(&self) -> &'static str {
         "HybridGNN"
@@ -373,22 +453,13 @@ impl LinkPredictor for HybridGnn {
             })
             .collect();
 
-        let (mut params, p) = Self::init_params(graph, &cfg, shapes.len(), rng);
-        let ctx = ForwardCtx {
-            graph,
-            config: &cfg,
-            shapes: &shapes,
-        };
-        let mut opt = Adam::new(common.lr.min(0.01));
+        let (params, p) = Self::init_params(graph, &cfg, shapes.len(), rng);
         let negatives = NegativeSampler::new(graph);
-
         let pair_budget = mhg_models::pair_budget(graph.num_edges());
-        let mut stopper = EarlyStopper::new(common.patience);
-        let mut report = TrainReport::default();
 
-        for epoch in 0..common.epochs {
-            // Metapath-based training walks per relation (§III-E). These
-            // same walks drive the aggregation sampling statistics.
+        // Metapath-based training walks per relation (§III-E). These same
+        // walks drive the aggregation sampling statistics.
+        let sample = |_epoch: usize, rng: &mut StdRng| {
             let mut tagged: Vec<(Pair, RelationId)> = Vec::new();
             for r in graph.schema().relations() {
                 for (shape, _) in &shapes {
@@ -409,65 +480,22 @@ impl LinkPredictor for HybridGnn {
             }
             tagged.shuffle(rng);
             tagged.truncate(pair_budget);
+            pair_batches(graph, &negatives, tagged, common.negatives, BATCH, rng)
+        };
 
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for chunk in tagged.chunks(BATCH) {
-                let mut g = Graph::new(&params);
-                // One forward per distinct center in the chunk.
-                let mut center_cache: HashMap<NodeId, Vec<Var>> = HashMap::new();
-                let mut lefts: Vec<Var> = Vec::new();
-                let mut targets: Vec<u32> = Vec::new();
-                let mut labels: Vec<f32> = Vec::new();
-                for &(pair, r) in chunk {
-                    let e_stars = center_cache.entry(pair.center).or_insert_with(|| {
-                        Self::forward_node(&mut g, &p, &ctx, pair.center, rng, false).0
-                    });
-                    let e = e_stars[r.index()];
-                    let ty = graph.node_type(pair.context);
-                    lefts.push(e);
-                    targets.push(pair.context.0);
-                    labels.push(1.0);
-                    for neg in negatives.sample_many(ty, pair.context, common.negatives, rng) {
-                        lefts.push(e);
-                        targets.push(neg.0);
-                        labels.push(-1.0);
-                    }
-                }
-                let left = g.concat_rows(&lefts);
-                let right = g.gather(p.ctx, &targets);
-                let scores = g.row_dot(left, right);
-                let loss = g.logistic_loss(scores, &labels);
-                loss_sum += g.scalar(loss) as f64;
-                batches += 1;
-                let grads = g.backward(loss);
-                opt.step(&mut params, &grads);
-            }
-
-            report.epochs_run = epoch + 1;
-            report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
-
-            let (tables, attention) = Self::full_inference(&params, &p, &ctx, rng);
-            let snapshot =
-                EmbeddingScores::per_relation(tables).with_context(params.value(p.ctx).clone());
-            let auc = mhg_models::val_auc(&snapshot, data.val);
-            match stopper.update(auc) {
-                StopDecision::Improved => {
-                    self.scores = snapshot;
-                    self.attention = attention;
-                }
-                StopDecision::Continue => {}
-                StopDecision::Stop => break,
-            }
-        }
-        if !self.scores.is_ready() {
-            let (tables, attention) = Self::full_inference(&params, &p, &ctx, rng);
-            self.scores =
-                EmbeddingScores::per_relation(tables).with_context(params.value(p.ctx).clone());
-            self.attention = attention;
-        }
-        report.best_val_auc = stopper.best();
-        report
+        let mut step = HybridStep {
+            params,
+            p,
+            graph,
+            config: cfg.clone(),
+            shapes: shapes.clone(),
+            opt: Adam::new(common.lr.min(0.01)),
+            val: data.val,
+            scores: &mut self.scores,
+            attention: &mut self.attention,
+            staged: None,
+        };
+        mhg_train::train(&common.train_options(), sample, &mut step, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {

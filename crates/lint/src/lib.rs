@@ -18,6 +18,10 @@
 //! * **shape-assert** — every tensor-op entry point combining two or more
 //!   tensors (in `crates/tensor/src/{ops,tensor}.rs`) contains a shape
 //!   assertion in its body.
+//! * **epoch-loop** — no `for epoch in` loops outside `crates/train`. The
+//!   training epoch loop (sampling, stepping, early stopping, reporting)
+//!   is owned by `mhg_train::train`; a model writing its own loop forks
+//!   the pipeline's determinism and timing contracts.
 //!
 //! Findings that are individually justified live in the `lint.allow` file at
 //! the workspace root; see [`parse_allowlist`] for the format. The scanner is
@@ -43,6 +47,8 @@ pub enum Rule {
     MissingDocs,
     /// Multi-tensor op entry point without a shape assertion.
     ShapeAssert,
+    /// Hand-rolled training epoch loop outside `crates/train`.
+    EpochLoop,
 }
 
 impl Rule {
@@ -54,6 +60,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::MissingDocs => "missing-docs",
             Rule::ShapeAssert => "shape-assert",
+            Rule::EpochLoop => "epoch-loop",
         }
     }
 }
@@ -99,6 +106,8 @@ pub struct FileClass {
     pub missing_docs: bool,
     /// Shape-assertion rule applies.
     pub shape_assert: bool,
+    /// Epoch-loop rule applies.
+    pub epoch_loop: bool,
 }
 
 /// Crates whose forward/training path must never read the wall clock.
@@ -126,6 +135,7 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
         missing_docs: DOCS_CRATES.contains(&krate) && !is_bin,
         shape_assert: rel_path == "crates/tensor/src/ops.rs"
             || rel_path == "crates/tensor/src/tensor.rs",
+        epoch_loop: krate != "train",
     })
 }
 
@@ -326,6 +336,11 @@ const PATTERNS: &[(Rule, &str, &str)] = &[
         "SystemTime::now",
         "wall clock in model code — timing belongs to the bench harness",
     ),
+    (
+        Rule::EpochLoop,
+        "for epoch in",
+        "hand-rolled epoch loop — drive training through `mhg_train::train`",
+    ),
 ];
 
 fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
@@ -335,6 +350,7 @@ fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
         Rule::WallClock => class.wall_clock,
         Rule::MissingDocs => class.missing_docs,
         Rule::ShapeAssert => class.shape_assert,
+        Rule::EpochLoop => class.epoch_loop,
     }
 }
 

@@ -110,6 +110,32 @@ fn shape_fixture_fires_shape_assert_on_tensor_entry_points() {
 }
 
 #[test]
+fn epoch_fixture_fires_everywhere_but_the_train_crate() {
+    let src = include_str!("fixtures/bad_epoch.rs");
+    // One loop in library code; the `#[cfg(test)]` loop is exempt.
+    let in_models = rules_fired("crates/models/src/bad_epoch.rs", src);
+    assert_eq!(
+        count(&in_models, Rule::EpochLoop),
+        1,
+        "diagnostics: {in_models:?}"
+    );
+    // Experiment binaries must not hand-roll epoch loops either.
+    let in_bin = rules_fired("crates/bench/src/bin/bad_epoch.rs", src);
+    assert_eq!(
+        count(&in_bin, Rule::EpochLoop),
+        1,
+        "diagnostics: {in_bin:?}"
+    );
+    // The pipeline crate owns the loop.
+    let in_train = rules_fired("crates/train/src/bad_epoch.rs", src);
+    assert_eq!(
+        count(&in_train, Rule::EpochLoop),
+        0,
+        "diagnostics: {in_train:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     // Scan under the strictest scoping: a tensor kernel file gets every rule.
     let fired = rules_fired(

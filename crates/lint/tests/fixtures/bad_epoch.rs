@@ -1,0 +1,21 @@
+//! Fixture: a model that hand-rolls its training epoch loop instead of
+//! driving `mhg_train::train`.
+
+fn fit(epochs: usize) -> f32 {
+    let mut loss = 0.0;
+    for epoch in 0..epochs {
+        loss = 1.0 / (epoch + 1) as f32;
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    // An epoch loop in test code is fine: tests may exercise toy loops.
+    #[test]
+    fn toy() {
+        for epoch in 0..3 {
+            let _ = epoch;
+        }
+    }
+}

@@ -3,7 +3,10 @@
 use mhg_datasets::LabeledEdge;
 use mhg_graph::{MultiplexGraph, NodeId, NodeTypeId, RelationId};
 use mhg_tensor::Tensor;
+use mhg_train::TrainOptions;
 use rand::rngs::StdRng;
+
+pub use mhg_train::{pair_budget, EarlyStopper, StopDecision, TimingBreakdown, TrainReport};
 
 /// Everything a model sees during training: the **training** graph (held-out
 /// edges removed), the dataset's metapath shapes (Table II), and the
@@ -40,6 +43,10 @@ pub struct CommonConfig {
     pub lr: f32,
     /// Early-stopping patience (epochs without validation improvement).
     pub patience: usize,
+    /// Run each model's sampling recipe on a background worker thread,
+    /// double-buffered against the compute stage. Bit-identical results to
+    /// inline sampling (see `mhg-train`); purely a throughput knob.
+    pub background_sampling: bool,
 }
 
 impl Default for CommonConfig {
@@ -54,6 +61,7 @@ impl Default for CommonConfig {
             negatives: 5,
             lr: 0.025,
             patience: 5,
+            background_sampling: true,
         }
     }
 }
@@ -71,19 +79,18 @@ impl CommonConfig {
             negatives: 3,
             lr: 0.05,
             patience: 3,
+            background_sampling: true,
         }
     }
-}
 
-/// Summary of a training run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct TrainReport {
-    /// Epochs actually executed (≤ configured epochs under early stopping).
-    pub epochs_run: usize,
-    /// Mean loss of the final epoch.
-    pub final_loss: f32,
-    /// Best validation ROC-AUC observed.
-    pub best_val_auc: f64,
+    /// The pipeline options this configuration implies.
+    pub fn train_options(&self) -> TrainOptions {
+        TrainOptions {
+            epochs: self.epochs,
+            patience: self.patience,
+            background: self.background_sampling,
+        }
+    }
 }
 
 /// A trained link predictor: scores candidate edges under a relation.
@@ -167,73 +174,9 @@ impl EmbeddingScores {
     }
 }
 
-/// Per-epoch skip-gram pair budget for the *tape-based* walk models (GATNE,
-/// HybridGNN): `12 × |E|`, clamped so dense graphs stay tractable on CPU.
-///
-/// The plain-SGNS baselines (DeepWalk, node2vec, LINE) keep the paper's
-/// full 20×10 walk protocol instead: their hand-rolled update is ~50×
-/// cheaper per pair, so equal *wall-clock* budgets — the normalisation the
-/// paper's single-GPU-hours setting implies — give them proportionally
-/// more samples. Capping everyone to this budget was tried and starves the
-/// SGNS models into sub-random territory (see DESIGN.md §3.1).
-pub fn pair_budget(num_edges: usize) -> usize {
-    (12 * num_edges).clamp(512, 60_000)
-}
-
 #[inline]
 fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-/// Early-stopping state machine over validation ROC-AUC.
-#[derive(Clone, Copy, Debug)]
-pub struct EarlyStopper {
-    best: f64,
-    epochs_since_best: usize,
-    patience: usize,
-}
-
-/// What to do after reporting a validation score.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum StopDecision {
-    /// New best — snapshot the model.
-    Improved,
-    /// No improvement yet; keep training.
-    Continue,
-    /// Patience exhausted; stop.
-    Stop,
-}
-
-impl EarlyStopper {
-    /// Creates a stopper with the given patience.
-    pub fn new(patience: usize) -> Self {
-        Self {
-            best: f64::NEG_INFINITY,
-            epochs_since_best: 0,
-            patience,
-        }
-    }
-
-    /// Reports this epoch's validation metric.
-    pub fn update(&mut self, val_metric: f64) -> StopDecision {
-        if val_metric > self.best {
-            self.best = val_metric;
-            self.epochs_since_best = 0;
-            StopDecision::Improved
-        } else {
-            self.epochs_since_best += 1;
-            if self.epochs_since_best >= self.patience {
-                StopDecision::Stop
-            } else {
-                StopDecision::Continue
-            }
-        }
-    }
-
-    /// Best metric seen so far.
-    pub fn best(&self) -> f64 {
-        self.best
-    }
 }
 
 /// Validation ROC-AUC of an embedding table over labelled edges.
@@ -252,17 +195,6 @@ pub fn val_auc(scores: &EmbeddingScores, val: &[LabeledEdge]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn early_stopper_lifecycle() {
-        let mut s = EarlyStopper::new(2);
-        assert_eq!(s.update(0.6), StopDecision::Improved);
-        assert_eq!(s.update(0.55), StopDecision::Continue);
-        assert_eq!(s.update(0.7), StopDecision::Improved);
-        assert_eq!(s.update(0.69), StopDecision::Continue);
-        assert_eq!(s.update(0.69), StopDecision::Stop);
-        assert!((s.best() - 0.7).abs() < 1e-12);
-    }
 
     #[test]
     fn shared_embedding_scoring() {

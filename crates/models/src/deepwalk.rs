@@ -4,16 +4,18 @@
 //! ignored, as the paper specifies for this baseline) feed a skip-gram model
 //! with negative sampling. One shared embedding per node.
 
-use mhg_graph::NodeId;
-use mhg_sampling::{pairs_from_walk, NegativeSampler, UniformWalker};
+use mhg_graph::{NodeId, RelationId};
+use mhg_sampling::{pairs_from_walk, NegativeSampler, Pair, UniformWalker};
+use mhg_train::pair_batches;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use crate::common::{
-    val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision,
-    TrainReport,
-};
-use crate::sgns::Sgns;
+use crate::common::{CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use crate::sgns::{Sgns, SgnsStep};
+
+/// Pairs per minibatch for the hand-rolled SGNS models (pure grouping: the
+/// update is per-pair, so the batch size never changes results).
+pub(crate) const SGNS_BATCH: usize = 1024;
 
 /// The DeepWalk baseline.
 pub struct DeepWalk {
@@ -29,6 +31,11 @@ impl DeepWalk {
             scores: EmbeddingScores::default(),
         }
     }
+
+    /// The trained embedding artefact (for inspection and regression tests).
+    pub fn embedding_scores(&self) -> &EmbeddingScores {
+        &self.scores
+    }
 }
 
 impl LinkPredictor for DeepWalk {
@@ -39,54 +46,33 @@ impl LinkPredictor for DeepWalk {
     fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
         let graph = data.graph;
         let cfg = &self.config;
-        let mut model = Sgns::new(graph.num_nodes(), cfg.dim, rng);
         let walker = UniformWalker::new(graph);
         let negatives = NegativeSampler::new(graph);
+        let starts: Vec<NodeId> = graph.nodes().collect();
 
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut report = TrainReport::default();
-        let mut starts: Vec<NodeId> = graph.nodes().collect();
-
-        for epoch in 0..cfg.epochs {
+        // Full paper walk protocol (wall-clock-normalised budget: the
+        // hand-rolled SGNS update is cheap enough for every pair).
+        let sample = |_epoch: usize, rng: &mut StdRng| {
+            let mut starts = starts.clone();
             starts.shuffle(rng);
-            // Full paper walk protocol (wall-clock-normalised budget: the
-            // hand-rolled SGNS update is cheap enough for every pair).
-            let mut pairs = Vec::new();
+            let mut tagged: Vec<(Pair, RelationId)> = Vec::new();
             for &start in &starts {
                 for _ in 0..cfg.walks_per_node {
                     let walk = walker.walk(start, cfg.walk_length, rng);
-                    pairs.extend(pairs_from_walk(&walk, cfg.window));
+                    tagged.extend(
+                        pairs_from_walk(&walk, cfg.window)
+                            .into_iter()
+                            .map(|p| (p, RelationId(0))),
+                    );
                 }
             }
-            pairs.shuffle(rng);
+            tagged.shuffle(rng);
+            pair_batches(graph, &negatives, tagged, cfg.negatives, SGNS_BATCH, rng)
+        };
 
-            let mut loss_sum = 0.0f64;
-            let mut pair_count = 0usize;
-            for pair in pairs {
-                let ty = graph.node_type(pair.context);
-                let negs = negatives.sample_many(ty, pair.context, cfg.negatives, rng);
-                loss_sum += model.train_pair(pair.center, pair.context, &negs, cfg.lr) as f64;
-                pair_count += 1;
-            }
-
-            report.epochs_run = epoch + 1;
-            report.final_loss = (loss_sum / pair_count.max(1) as f64) as f32;
-
-            let snapshot = EmbeddingScores::shared(model.embeddings().clone())
-                .with_context(model.contexts().clone());
-            let auc = val_auc(&snapshot, data.val);
-            match stopper.update(auc) {
-                StopDecision::Improved => self.scores = snapshot,
-                StopDecision::Continue => {}
-                StopDecision::Stop => break,
-            }
-        }
-        if !self.scores.is_ready() {
-            let ctx = model.contexts().clone();
-            self.scores = EmbeddingScores::shared(model.into_embeddings()).with_context(ctx);
-        }
-        report.best_val_auc = stopper.best();
-        report
+        let model = Sgns::new(graph.num_nodes(), cfg.dim, rng);
+        let mut step = SgnsStep::new(model, cfg.lr, data.val, &mut self.scores);
+        mhg_train::train(&cfg.train_options(), sample, &mut step, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: mhg_graph::RelationId) -> f32 {

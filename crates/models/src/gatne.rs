@@ -14,16 +14,16 @@
 //! every table of the paper.
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
+use mhg_datasets::LabeledEdge;
 use mhg_graph::{MultiplexGraph, NodeId, RelationId};
 use mhg_sampling::{pairs_from_walk, NegativeSampler, Pair};
 use mhg_tensor::{InitKind, Tensor};
+use mhg_train::{pair_batches, BatchLoss, PairExample, TrainStep};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::common::{
-    CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision, TrainReport,
-};
+use crate::common::{CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
 
 const NEIGHBOR_FAN: usize = 6;
 const BATCH: usize = 64;
@@ -225,6 +225,74 @@ impl Gatne {
     }
 }
 
+/// The `TrainStep` for GATNE: relation-specific center representations
+/// scored against the context table, per-relation table snapshot on
+/// improvement.
+struct GatneStep<'a> {
+    params: ParamStore,
+    p: GatneParams,
+    graph: &'a MultiplexGraph,
+    opt: Adam,
+    val: &'a [LabeledEdge],
+    scores: &'a mut EmbeddingScores,
+    staged: EmbeddingScores,
+}
+
+impl TrainStep for GatneStep<'_> {
+    type Batch = Vec<PairExample>;
+
+    fn step(&mut self, batch: Vec<PairExample>, rng: &mut StdRng) -> BatchLoss {
+        let mut centers = Vec::with_capacity(batch.len());
+        let mut targets: Vec<u32> = Vec::new();
+        let mut labels: Vec<f32> = Vec::new();
+        // How many rows (1 positive + negatives) reuse each center.
+        let mut row_counts = Vec::with_capacity(batch.len());
+        for ex in &batch {
+            centers.push((ex.center, ex.relation));
+            targets.push(ex.context.0);
+            labels.push(1.0);
+            for &neg in &ex.negatives {
+                targets.push(neg.0);
+                labels.push(-1.0);
+            }
+            row_counts.push(1 + ex.negatives.len());
+        }
+        let mut g = Graph::new(&self.params);
+        // Each center representation is computed once and its tape row
+        // reused for the positive and all its negatives.
+        let center_reps = Gatne::represent_batch(&mut g, &self.p, self.graph, &centers, rng);
+        let mut expanded_rows = Vec::with_capacity(targets.len());
+        for (ci, &count) in row_counts.iter().enumerate() {
+            for _ in 0..count {
+                expanded_rows.push(g.slice_rows(center_reps, ci, ci + 1));
+            }
+        }
+        let left = g.concat_rows(&expanded_rows);
+        let right = g.gather(self.p.ctx, &targets);
+        let scores = g.row_dot(left, right);
+        let loss = g.logistic_loss(scores, &labels);
+        let loss_sum = g.scalar(loss) as f64;
+        let grads = g.backward(loss);
+        self.opt.step(&mut self.params, &grads);
+        BatchLoss { loss_sum, denom: 1 }
+    }
+
+    fn eval(&mut self, rng: &mut StdRng) -> f64 {
+        let tables = Gatne::full_inference(&self.params, &self.p, self.graph, rng);
+        self.staged = EmbeddingScores::per_relation(tables)
+            .with_context(self.params.value(self.p.ctx).clone());
+        crate::common::val_auc(&self.staged, self.val)
+    }
+
+    fn promote(&mut self) {
+        *self.scores = std::mem::take(&mut self.staged);
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.scores.is_ready()
+    }
+}
+
 impl LinkPredictor for Gatne {
     fn name(&self) -> &'static str {
         "GATNE"
@@ -233,17 +301,13 @@ impl LinkPredictor for Gatne {
     fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
         let graph = data.graph;
         let cfg = &self.config;
-        let (mut params, p) = Self::init_params(graph, cfg.dim, cfg.edge_dim, rng);
-        let mut opt = Adam::new(cfg.lr.min(0.01));
+        let (params, p) = Self::init_params(graph, cfg.dim, cfg.edge_dim, rng);
         let negatives = NegativeSampler::new(graph);
 
         let pair_budget = crate::common::pair_budget(graph.num_edges());
 
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut report = TrainReport::default();
-
-        for epoch in 0..cfg.epochs {
-            // Generate relation-tagged skip-gram pairs from walks in g_r.
+        // Generate relation-tagged skip-gram pairs from walks in g_r.
+        let sample = |_epoch: usize, rng: &mut StdRng| {
             let mut tagged: Vec<(Pair, RelationId)> = Vec::new();
             for r in graph.schema().relations() {
                 for start in graph.nodes() {
@@ -260,67 +324,19 @@ impl LinkPredictor for Gatne {
             }
             tagged.shuffle(rng);
             tagged.truncate(pair_budget);
+            pair_batches(graph, &negatives, tagged, cfg.negatives, BATCH, rng)
+        };
 
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for chunk in tagged.chunks(BATCH) {
-                let mut centers = Vec::with_capacity(chunk.len());
-                let mut targets: Vec<u32> = Vec::new();
-                let mut labels: Vec<f32> = Vec::new();
-                // How many rows (1 positive + negatives) reuse each center.
-                let mut row_counts = Vec::with_capacity(chunk.len());
-                for &(pair, r) in chunk {
-                    centers.push((pair.center, r));
-                    let ty = graph.node_type(pair.context);
-                    let negs = negatives.sample_many(ty, pair.context, cfg.negatives, rng);
-                    targets.push(pair.context.0);
-                    labels.push(1.0);
-                    for &neg in &negs {
-                        targets.push(neg.0);
-                        labels.push(-1.0);
-                    }
-                    row_counts.push(1 + negs.len());
-                }
-                let mut g = Graph::new(&params);
-                // Each center representation is computed once and its tape
-                // row reused for the positive and all its negatives.
-                let center_reps = Self::represent_batch(&mut g, &p, graph, &centers, rng);
-                let mut expanded_rows = Vec::with_capacity(targets.len());
-                for (ci, &count) in row_counts.iter().enumerate() {
-                    for _ in 0..count {
-                        expanded_rows.push(g.slice_rows(center_reps, ci, ci + 1));
-                    }
-                }
-                let left = g.concat_rows(&expanded_rows);
-                let right = g.gather(p.ctx, &targets);
-                let scores = g.row_dot(left, right);
-                let loss = g.logistic_loss(scores, &labels);
-                loss_sum += g.scalar(loss) as f64;
-                batches += 1;
-                let grads = g.backward(loss);
-                opt.step(&mut params, &grads);
-            }
-
-            report.epochs_run = epoch + 1;
-            report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
-
-            let tables = Self::full_inference(&params, &p, graph, rng);
-            let snapshot =
-                EmbeddingScores::per_relation(tables).with_context(params.value(p.ctx).clone());
-            let auc = crate::common::val_auc(&snapshot, data.val);
-            match stopper.update(auc) {
-                StopDecision::Improved => self.scores = snapshot,
-                StopDecision::Continue => {}
-                StopDecision::Stop => break,
-            }
-        }
-        if !self.scores.is_ready() {
-            let tables = Self::full_inference(&params, &p, graph, rng);
-            self.scores =
-                EmbeddingScores::per_relation(tables).with_context(params.value(p.ctx).clone());
-        }
-        report.best_val_auc = stopper.best();
-        report
+        let mut step = GatneStep {
+            params,
+            p,
+            graph,
+            opt: Adam::new(cfg.lr.min(0.01)),
+            val: data.val,
+            scores: &mut self.scores,
+            staged: EmbeddingScores::default(),
+        };
+        mhg_train::train(&cfg.train_options(), sample, &mut step, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {

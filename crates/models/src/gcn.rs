@@ -8,17 +8,15 @@
 //! adjacency the paper's own mini-batch setting implies.
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore};
-use mhg_graph::{NodeId, RelationId};
+use mhg_datasets::LabeledEdge;
+use mhg_graph::{MultiplexGraph, NodeId, RelationId};
 use mhg_sampling::NegativeSampler;
 use mhg_tensor::{InitKind, Tensor};
+use mhg_train::{edge_batches, BatchLoss, EdgeBatch, TrainStep};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 
 use crate::agg::mean_self_neighbors;
-use crate::common::{
-    val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision,
-    TrainReport,
-};
+use crate::common::{val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
 
 const FAN_OUT: usize = 10;
 const BATCH: usize = 256;
@@ -58,6 +56,61 @@ impl Gcn {
     }
 }
 
+/// The `TrainStep` for GCN: one tape per [`EdgeBatch`], full-graph
+/// representation snapshot on improvement.
+struct GcnStep<'a> {
+    params: ParamStore,
+    emb: ParamId,
+    w1: ParamId,
+    graph: &'a MultiplexGraph,
+    opt: Adam,
+    val: &'a [LabeledEdge],
+    scores: &'a mut EmbeddingScores,
+    staged: EmbeddingScores,
+}
+
+impl TrainStep for GcnStep<'_> {
+    type Batch = EdgeBatch;
+
+    fn step(&mut self, batch: EdgeBatch, rng: &mut StdRng) -> BatchLoss {
+        let mut g = Graph::new(&self.params);
+        let w = g.param(self.w1);
+        let left_agg =
+            mean_self_neighbors(&mut g, self.emb, self.graph, &batch.lefts, FAN_OUT, rng);
+        let right_agg =
+            mean_self_neighbors(&mut g, self.emb, self.graph, &batch.rights, FAN_OUT, rng);
+        let hl = {
+            let lin = g.matmul(left_agg, w);
+            g.tanh(lin)
+        };
+        let hr = {
+            let lin = g.matmul(right_agg, w);
+            g.tanh(lin)
+        };
+        let scores = g.row_dot(hl, hr);
+        let loss = g.logistic_loss(scores, &batch.labels);
+        let loss_sum = g.scalar(loss) as f64;
+        let grads = g.backward(loss);
+        self.opt.step(&mut self.params, &grads);
+        BatchLoss { loss_sum, denom: 1 }
+    }
+
+    fn eval(&mut self, rng: &mut StdRng) -> f64 {
+        let all: Vec<NodeId> = self.graph.nodes().collect();
+        let table = Gcn::represent(&self.params, self.emb, self.w1, self.graph, &all, rng);
+        self.staged = EmbeddingScores::shared(table);
+        val_auc(&self.staged, self.val)
+    }
+
+    fn promote(&mut self) {
+        *self.scores = std::mem::take(&mut self.staged);
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.scores.is_ready()
+    }
+}
+
 impl LinkPredictor for Gcn {
     fn name(&self) -> &'static str {
         "GCN"
@@ -77,82 +130,29 @@ impl LinkPredictor for Gcn {
             .init(graph.num_nodes(), dim, rng),
         );
         let w1 = params.register("w1", InitKind::XavierUniform.init(dim, dim, rng));
-        let mut opt = Adam::new(cfg.lr.min(0.01));
 
         let negatives = NegativeSampler::new(graph);
-        let mut edges: Vec<(NodeId, NodeId, RelationId)> = graph
+        let edges: Vec<(NodeId, NodeId, RelationId)> = graph
             .schema()
             .relations()
             .flat_map(|r| graph.edges_in(r).map(move |(u, v)| (u, v, r)))
             .collect();
 
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut report = TrainReport::default();
+        let sample = |_epoch: usize, rng: &mut StdRng| {
+            edge_batches(graph, &negatives, &edges, cfg.negatives, BATCH, rng)
+        };
 
-        for epoch in 0..cfg.epochs {
-            edges.shuffle(rng);
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for chunk in edges.chunks(BATCH) {
-                // Build (u, v, label) triples: each positive plus negatives.
-                let mut lefts = Vec::with_capacity(chunk.len() * (1 + cfg.negatives));
-                let mut rights = Vec::with_capacity(lefts.capacity());
-                let mut labels = Vec::with_capacity(lefts.capacity());
-                for &(u, v, _) in chunk {
-                    lefts.push(u);
-                    rights.push(v);
-                    labels.push(1.0);
-                    let ty = graph.node_type(v);
-                    for neg in negatives.sample_many(ty, v, cfg.negatives, rng) {
-                        lefts.push(u);
-                        rights.push(neg);
-                        labels.push(-1.0);
-                    }
-                }
-
-                let mut g = Graph::new(&params);
-                let w = g.param(w1);
-                let left_agg = mean_self_neighbors(&mut g, emb, graph, &lefts, FAN_OUT, rng);
-                let right_agg = mean_self_neighbors(&mut g, emb, graph, &rights, FAN_OUT, rng);
-                let hl = {
-                    let lin = g.matmul(left_agg, w);
-                    g.tanh(lin)
-                };
-                let hr = {
-                    let lin = g.matmul(right_agg, w);
-                    g.tanh(lin)
-                };
-                let scores = g.row_dot(hl, hr);
-                let loss = g.logistic_loss(scores, &labels);
-                loss_sum += g.scalar(loss) as f64;
-                batches += 1;
-                let grads = g.backward(loss);
-                opt.step(&mut params, &grads);
-            }
-
-            report.epochs_run = epoch + 1;
-            report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
-
-            // Validation on the endpoint nodes only (cheap).
-            let snapshot = {
-                let all: Vec<NodeId> = graph.nodes().collect();
-                let table = Self::represent(&params, emb, w1, graph, &all, rng);
-                EmbeddingScores::shared(table)
-            };
-            let auc = val_auc(&snapshot, data.val);
-            match stopper.update(auc) {
-                StopDecision::Improved => self.scores = snapshot,
-                StopDecision::Continue => {}
-                StopDecision::Stop => break,
-            }
-        }
-        if !self.scores.is_ready() {
-            let all: Vec<NodeId> = graph.nodes().collect();
-            let table = Self::represent(&params, emb, w1, graph, &all, rng);
-            self.scores = EmbeddingScores::shared(table);
-        }
-        report.best_val_auc = stopper.best();
-        report
+        let mut step = GcnStep {
+            params,
+            emb,
+            w1,
+            graph,
+            opt: Adam::new(cfg.lr.min(0.01)),
+            val: data.val,
+            scores: &mut self.scores,
+            staged: EmbeddingScores::default(),
+        };
+        mhg_train::train(&cfg.train_options(), sample, &mut step, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {

@@ -8,17 +8,15 @@
 //! baseline protocol. Trained on the link logistic loss.
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
+use mhg_datasets::LabeledEdge;
 use mhg_graph::{MultiplexGraph, NodeId, RelationId};
 use mhg_sampling::NegativeSampler;
 use mhg_tensor::{InitKind, Tensor};
+use mhg_train::{edge_batches, BatchLoss, EdgeBatch, TrainStep};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 
 use crate::agg::{mean_self_neighbors, sample_merged_neighbors};
-use crate::common::{
-    val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision,
-    TrainReport,
-};
+use crate::common::{val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
 
 const FAN_OUT_1: usize = 6;
 const FAN_OUT_2: usize = 4;
@@ -119,6 +117,54 @@ impl GraphSage {
     }
 }
 
+/// The `TrainStep` for GraphSage: two-layer sampled aggregation per
+/// [`EdgeBatch`], full-graph representation snapshot on improvement.
+struct SageStep<'a> {
+    params: ParamStore,
+    p: SageParams,
+    graph: &'a MultiplexGraph,
+    opt: Adam,
+    val: &'a [LabeledEdge],
+    scores: &'a mut EmbeddingScores,
+    staged: EmbeddingScores,
+}
+
+impl TrainStep for SageStep<'_> {
+    type Batch = EdgeBatch;
+
+    fn step(&mut self, batch: EdgeBatch, rng: &mut StdRng) -> BatchLoss {
+        let mut g = Graph::new(&self.params);
+        let hl = GraphSage::represent_on(&mut g, &self.p, self.graph, &batch.lefts, rng);
+        let hr = GraphSage::represent_on(&mut g, &self.p, self.graph, &batch.rights, rng);
+        let scores = g.row_dot(hl, hr);
+        let loss = g.logistic_loss(scores, &batch.labels);
+        let loss_sum = g.scalar(loss) as f64;
+        let grads = g.backward(loss);
+        self.opt.step(&mut self.params, &grads);
+        BatchLoss { loss_sum, denom: 1 }
+    }
+
+    fn eval(&mut self, rng: &mut StdRng) -> f64 {
+        let all: Vec<NodeId> = self.graph.nodes().collect();
+        self.staged = EmbeddingScores::shared(GraphSage::represent(
+            &self.params,
+            &self.p,
+            self.graph,
+            &all,
+            rng,
+        ));
+        val_auc(&self.staged, self.val)
+    }
+
+    fn promote(&mut self) {
+        *self.scores = std::mem::take(&mut self.staged);
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.scores.is_ready()
+    }
+}
+
 impl LinkPredictor for GraphSage {
     fn name(&self) -> &'static str {
         "GraphSage"
@@ -143,66 +189,28 @@ impl LinkPredictor for GraphSage {
             w_self2: params.register("w_self2", InitKind::XavierUniform.init(dim, dim, rng)),
             w_neigh2: params.register("w_neigh2", InitKind::XavierUniform.init(dim, dim, rng)),
         };
-        let mut opt = Adam::new(cfg.lr.min(0.01));
 
         let negatives = NegativeSampler::new(graph);
-        let mut edges: Vec<(NodeId, NodeId)> = graph
+        let edges: Vec<(NodeId, NodeId, RelationId)> = graph
             .schema()
             .relations()
-            .flat_map(|r| graph.edges_in(r).collect::<Vec<_>>())
+            .flat_map(|r| graph.edges_in(r).map(move |(u, v)| (u, v, r)))
             .collect();
 
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut report = TrainReport::default();
+        let sample = |_epoch: usize, rng: &mut StdRng| {
+            edge_batches(graph, &negatives, &edges, cfg.negatives.min(2), BATCH, rng)
+        };
 
-        for epoch in 0..cfg.epochs {
-            edges.shuffle(rng);
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for chunk in edges.chunks(BATCH) {
-                let mut lefts = Vec::new();
-                let mut rights = Vec::new();
-                let mut labels = Vec::new();
-                for &(u, v) in chunk {
-                    lefts.push(u);
-                    rights.push(v);
-                    labels.push(1.0);
-                    let ty = graph.node_type(v);
-                    for neg in negatives.sample_many(ty, v, cfg.negatives.min(2), rng) {
-                        lefts.push(u);
-                        rights.push(neg);
-                        labels.push(-1.0);
-                    }
-                }
-                let mut g = Graph::new(&params);
-                let hl = Self::represent_on(&mut g, &p, graph, &lefts, rng);
-                let hr = Self::represent_on(&mut g, &p, graph, &rights, rng);
-                let scores = g.row_dot(hl, hr);
-                let loss = g.logistic_loss(scores, &labels);
-                loss_sum += g.scalar(loss) as f64;
-                batches += 1;
-                let grads = g.backward(loss);
-                opt.step(&mut params, &grads);
-            }
-
-            report.epochs_run = epoch + 1;
-            report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
-
-            let all: Vec<NodeId> = graph.nodes().collect();
-            let snapshot = EmbeddingScores::shared(Self::represent(&params, &p, graph, &all, rng));
-            let auc = val_auc(&snapshot, data.val);
-            match stopper.update(auc) {
-                StopDecision::Improved => self.scores = snapshot,
-                StopDecision::Continue => {}
-                StopDecision::Stop => break,
-            }
-        }
-        if !self.scores.is_ready() {
-            let all: Vec<NodeId> = graph.nodes().collect();
-            self.scores = EmbeddingScores::shared(Self::represent(&params, &p, graph, &all, rng));
-        }
-        report.best_val_auc = stopper.best();
-        report
+        let mut step = SageStep {
+            params,
+            p,
+            graph,
+            opt: Adam::new(cfg.lr.min(0.01)),
+            val: data.val,
+            scores: &mut self.scores,
+            staged: EmbeddingScores::default(),
+        };
+        mhg_train::train(&cfg.train_options(), sample, &mut step, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {

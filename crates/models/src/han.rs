@@ -8,17 +8,15 @@
 //! paper's Table III records.
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
+use mhg_datasets::LabeledEdge;
 use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, RelationId};
 use mhg_sampling::{MetapathNeighborSampler, NegativeSampler};
 use mhg_tensor::{InitKind, Tensor};
+use mhg_train::{edge_batches, BatchLoss, EdgeBatch, TrainStep};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 
 use crate::attention::{dot_attention_pool, semantic_attention};
-use crate::common::{
-    val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision,
-    TrainReport,
-};
+use crate::common::{val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
 
 const FAN_OUT: usize = 4;
 const MAX_LAYER: usize = 12;
@@ -142,6 +140,68 @@ impl Han {
     }
 }
 
+/// The `TrainStep` for HAN: hierarchical attention per [`EdgeBatch`],
+/// full-graph representation snapshot on improvement.
+struct HanStep<'a> {
+    params: ParamStore,
+    p: HanParams,
+    graph: &'a MultiplexGraph,
+    schemes: Vec<MetapathScheme>,
+    opt: Adam,
+    val: &'a [LabeledEdge],
+    scores: &'a mut EmbeddingScores,
+    staged: EmbeddingScores,
+}
+
+impl TrainStep for HanStep<'_> {
+    type Batch = EdgeBatch;
+
+    fn step(&mut self, batch: EdgeBatch, rng: &mut StdRng) -> BatchLoss {
+        let mut g = Graph::new(&self.params);
+        let hl = Han::represent_batch(
+            &mut g,
+            &self.p,
+            self.graph,
+            &self.schemes,
+            &batch.lefts,
+            rng,
+        );
+        let hr = Han::represent_batch(
+            &mut g,
+            &self.p,
+            self.graph,
+            &self.schemes,
+            &batch.rights,
+            rng,
+        );
+        let scores = g.row_dot(hl, hr);
+        let loss = g.logistic_loss(scores, &batch.labels);
+        let loss_sum = g.scalar(loss) as f64;
+        let grads = g.backward(loss);
+        self.opt.step(&mut self.params, &grads);
+        BatchLoss { loss_sum, denom: 1 }
+    }
+
+    fn eval(&mut self, rng: &mut StdRng) -> f64 {
+        self.staged = EmbeddingScores::shared(Han::full_inference(
+            &self.params,
+            &self.p,
+            self.graph,
+            &self.schemes,
+            rng,
+        ));
+        val_auc(&self.staged, self.val)
+    }
+
+    fn promote(&mut self) {
+        *self.scores = std::mem::take(&mut self.staged);
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.scores.is_ready()
+    }
+}
+
 impl LinkPredictor for Han {
     fn name(&self) -> &'static str {
         "HAN"
@@ -175,66 +235,29 @@ impl LinkPredictor for Han {
             b_sem: params.register("b_sem", Tensor::zeros(1, ds)),
             q_sem: params.register("q_sem", InitKind::XavierUniform.init(ds, 1, rng)),
         };
-        let mut opt = Adam::new(cfg.lr.min(0.01));
         let negatives = NegativeSampler::new(graph);
 
-        let mut edges: Vec<(NodeId, NodeId)> = graph
+        let edges: Vec<(NodeId, NodeId, RelationId)> = graph
             .schema()
             .relations()
-            .flat_map(|r| graph.edges_in(r).collect::<Vec<_>>())
+            .flat_map(|r| graph.edges_in(r).map(move |(u, v)| (u, v, r)))
             .collect();
 
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut report = TrainReport::default();
+        let sample = |_epoch: usize, rng: &mut StdRng| {
+            edge_batches(graph, &negatives, &edges, cfg.negatives.min(2), BATCH, rng)
+        };
 
-        for epoch in 0..cfg.epochs {
-            edges.shuffle(rng);
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for chunk in edges.chunks(BATCH) {
-                let mut lefts = Vec::new();
-                let mut rights = Vec::new();
-                let mut labels = Vec::new();
-                for &(u, v) in chunk {
-                    lefts.push(u);
-                    rights.push(v);
-                    labels.push(1.0);
-                    let ty = graph.node_type(v);
-                    for neg in negatives.sample_many(ty, v, cfg.negatives.min(2), rng) {
-                        lefts.push(u);
-                        rights.push(neg);
-                        labels.push(-1.0);
-                    }
-                }
-                let mut g = Graph::new(&params);
-                let hl = Self::represent_batch(&mut g, &p, graph, &schemes, &lefts, rng);
-                let hr = Self::represent_batch(&mut g, &p, graph, &schemes, &rights, rng);
-                let scores = g.row_dot(hl, hr);
-                let loss = g.logistic_loss(scores, &labels);
-                loss_sum += g.scalar(loss) as f64;
-                batches += 1;
-                let grads = g.backward(loss);
-                opt.step(&mut params, &grads);
-            }
-
-            report.epochs_run = epoch + 1;
-            report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
-
-            let snapshot =
-                EmbeddingScores::shared(Self::full_inference(&params, &p, graph, &schemes, rng));
-            let auc = val_auc(&snapshot, data.val);
-            match stopper.update(auc) {
-                StopDecision::Improved => self.scores = snapshot,
-                StopDecision::Continue => {}
-                StopDecision::Stop => break,
-            }
-        }
-        if !self.scores.is_ready() {
-            self.scores =
-                EmbeddingScores::shared(Self::full_inference(&params, &p, graph, &schemes, rng));
-        }
-        report.best_val_auc = stopper.best();
-        report
+        let mut step = HanStep {
+            params,
+            p,
+            graph,
+            schemes,
+            opt: Adam::new(cfg.lr.min(0.01)),
+            val: data.val,
+            scores: &mut self.scores,
+            staged: EmbeddingScores::default(),
+        };
+        mhg_train::train(&cfg.train_options(), sample, &mut step, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {

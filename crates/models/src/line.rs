@@ -6,17 +6,71 @@
 //! concatenation of both halves, as in the original paper. Edge sampling
 //! replaces walks; node and edge types are ignored.
 
+use mhg_datasets::LabeledEdge;
 use mhg_graph::{NodeId, RelationId};
 use mhg_sampling::NegativeSampler;
 use mhg_tensor::{sigmoid_scalar, InitKind, Tensor};
+use mhg_train::{BatchLoss, TrainStep};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::common::{
-    val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor, StopDecision,
-    TrainReport,
-};
+use crate::common::{val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
 use crate::sgns::Sgns;
+
+/// Samples per LINE minibatch (pure grouping; the update is per-sample).
+const LINE_BATCH: usize = 1024;
+
+/// One pre-sampled LINE training example: an oriented edge with independent
+/// negative sets for the first- and second-order halves.
+struct LineExample {
+    u: NodeId,
+    v: NodeId,
+    negs_first: Vec<NodeId>,
+    negs_second: Vec<NodeId>,
+}
+
+/// The `TrainStep` for LINE: applies first-order + second-order updates per
+/// example, snapshots the concatenated halves.
+struct LineStep<'a> {
+    first: Tensor,
+    second: Sgns,
+    lr: f32,
+    val: &'a [LabeledEdge],
+    scores: &'a mut EmbeddingScores,
+    staged: EmbeddingScores,
+}
+
+impl TrainStep for LineStep<'_> {
+    type Batch = Vec<LineExample>;
+
+    fn step(&mut self, batch: Vec<LineExample>, _rng: &mut StdRng) -> BatchLoss {
+        let mut loss_sum = 0.0f64;
+        let denom = batch.len();
+        for ex in batch {
+            // First-order update: σ(e_u · e_v) toward 1, negatives to 0.
+            loss_sum += first_order_step(&mut self.first, ex.u, ex.v, self.lr) as f64;
+            for &neg in &ex.negs_first {
+                loss_sum += first_order_neg_step(&mut self.first, ex.u, neg, self.lr) as f64;
+            }
+            // Second-order update via the shared SGNS core.
+            loss_sum += self.second.train_pair(ex.u, ex.v, &ex.negs_second, self.lr) as f64;
+        }
+        BatchLoss { loss_sum, denom }
+    }
+
+    fn eval(&mut self, _rng: &mut StdRng) -> f64 {
+        self.staged = EmbeddingScores::shared(concat_halves(&self.first, self.second.embeddings()));
+        val_auc(&self.staged, self.val)
+    }
+
+    fn promote(&mut self) {
+        *self.scores = std::mem::take(&mut self.staged);
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.scores.is_ready()
+    }
+}
 
 /// The LINE baseline (first + second order proximity).
 pub struct Line {
@@ -46,9 +100,9 @@ impl LinkPredictor for Line {
 
         // First-order half: symmetric SGNS-style updates on direct edges.
         let limit = 0.5 / half as f32;
-        let mut first = InitKind::Uniform { limit }.init(graph.num_nodes(), half, rng);
+        let first = InitKind::Uniform { limit }.init(graph.num_nodes(), half, rng);
         // Second-order half: standard SGNS with edges as (center, context).
-        let mut second = Sgns::new(graph.num_nodes(), half, rng);
+        let second = Sgns::new(graph.num_nodes(), half, rng);
 
         let negatives = NegativeSampler::new(graph);
         // Flatten the edge list once (LINE ignores types).
@@ -65,44 +119,40 @@ impl LinkPredictor for Line {
         // Full edge-sampling protocol (wall-clock-normalised budget; see
         // `pair_budget` for the tape-model counterpart).
         let samples_per_epoch = edges.len() * cfg.walks_per_node.max(1);
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut report = TrainReport::default();
-
-        for epoch in 0..cfg.epochs {
-            let mut loss_sum = 0.0f64;
+        let sample = |_epoch: usize, rng: &mut StdRng| {
+            let mut batches: Vec<Vec<LineExample>> =
+                Vec::with_capacity(samples_per_epoch.div_ceil(LINE_BATCH));
+            let mut current = Vec::with_capacity(LINE_BATCH.min(samples_per_epoch));
             for _ in 0..samples_per_epoch {
                 let &(u, v) = &edges[rng.gen_range(0..edges.len())];
                 // Symmetrise direction.
                 let (u, v) = if rng.gen::<bool>() { (u, v) } else { (v, u) };
-
-                // First-order update: σ(e_u · e_v) toward 1, negatives to 0.
-                loss_sum += first_order_step(&mut first, u, v, cfg.lr) as f64;
                 let ty = graph.node_type(v);
-                for neg in negatives.sample_many(ty, v, cfg.negatives, rng) {
-                    loss_sum += first_order_neg_step(&mut first, u, neg, cfg.lr) as f64;
+                current.push(LineExample {
+                    u,
+                    v,
+                    negs_first: negatives.sample_many(ty, v, cfg.negatives, rng),
+                    negs_second: negatives.sample_many(ty, v, cfg.negatives, rng),
+                });
+                if current.len() == LINE_BATCH {
+                    batches.push(std::mem::take(&mut current));
                 }
-
-                // Second-order update via the shared SGNS core.
-                let negs = negatives.sample_many(ty, v, cfg.negatives, rng);
-                loss_sum += second.train_pair(u, v, &negs, cfg.lr) as f64;
             }
-
-            report.epochs_run = epoch + 1;
-            report.final_loss = (loss_sum / samples_per_epoch.max(1) as f64) as f32;
-
-            let snapshot = EmbeddingScores::shared(concat_halves(&first, second.embeddings()));
-            let auc = val_auc(&snapshot, data.val);
-            match stopper.update(auc) {
-                StopDecision::Improved => self.scores = snapshot,
-                StopDecision::Continue => {}
-                StopDecision::Stop => break,
+            if !current.is_empty() {
+                batches.push(current);
             }
-        }
-        if !self.scores.is_ready() {
-            self.scores = EmbeddingScores::shared(concat_halves(&first, second.embeddings()));
-        }
-        report.best_val_auc = stopper.best();
-        report
+            batches
+        };
+
+        let mut step = LineStep {
+            first,
+            second,
+            lr: cfg.lr,
+            val: data.val,
+            scores: &mut self.scores,
+            staged: EmbeddingScores::default(),
+        };
+        mhg_train::train(&cfg.train_options(), sample, &mut step, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {

@@ -9,16 +9,15 @@
 //! link prediction.
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
+use mhg_datasets::LabeledEdge;
 use mhg_graph::{MultiplexGraph, NodeId, RelationId};
 use mhg_sampling::NegativeSampler;
 use mhg_tensor::{InitKind, Tensor};
+use mhg_train::{edge_batches, BatchLoss, EdgeBatch, TrainStep};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 
 use crate::agg::{gather_nodes, mean_relation_neighbors};
-use crate::common::{
-    CommonConfig, EarlyStopper, FitData, LinkPredictor, StopDecision, TrainReport,
-};
+use crate::common::{CommonConfig, FitData, LinkPredictor, TrainReport};
 
 const FAN_OUT: usize = 8;
 const BATCH: usize = 256;
@@ -102,17 +101,66 @@ impl RGcn {
         }
         out
     }
+}
 
-    fn snapshot_auc(&self, reps: &Tensor, diag: &Tensor, val: &[mhg_datasets::LabeledEdge]) -> f64 {
-        if val.is_empty() {
-            return 0.5;
+/// Validation ROC-AUC of a (representations, DistMult diagonal) snapshot.
+fn snapshot_auc(reps: &Tensor, diag: &Tensor, val: &[LabeledEdge]) -> f64 {
+    if val.is_empty() {
+        return 0.5;
+    }
+    let scores: Vec<f32> = val
+        .iter()
+        .map(|e| distmult_score(reps, diag, e.u, e.v, e.relation))
+        .collect();
+    let labels: Vec<bool> = val.iter().map(|e| e.label).collect();
+    mhg_eval::roc_auc(&scores, &labels)
+}
+
+/// The `TrainStep` for R-GCN: relational convolution + DistMult decoding per
+/// [`EdgeBatch`], (representations, diagonal) snapshot on improvement.
+struct RgcnStep<'a> {
+    params: ParamStore,
+    p: RgcnParams,
+    graph: &'a MultiplexGraph,
+    opt: Adam,
+    val: &'a [LabeledEdge],
+    node_reps: &'a mut Option<Tensor>,
+    relation_diag: &'a mut Option<Tensor>,
+    staged: Option<(Tensor, Tensor)>,
+}
+
+impl TrainStep for RgcnStep<'_> {
+    type Batch = EdgeBatch;
+
+    fn step(&mut self, batch: EdgeBatch, rng: &mut StdRng) -> BatchLoss {
+        let mut g = Graph::new(&self.params);
+        let hl = RGcn::represent_on(&mut g, &self.p, self.graph, &batch.lefts, rng);
+        let hr = RGcn::represent_on(&mut g, &self.p, self.graph, &batch.rights, rng);
+        let scores = RGcn::distmult_on(&mut g, &self.p, hl, hr, &batch.relations);
+        let loss = g.logistic_loss(scores, &batch.labels);
+        let loss_sum = g.scalar(loss) as f64;
+        let grads = g.backward(loss);
+        self.opt.step(&mut self.params, &grads);
+        BatchLoss { loss_sum, denom: 1 }
+    }
+
+    fn eval(&mut self, rng: &mut StdRng) -> f64 {
+        let reps = RGcn::full_inference(&self.params, &self.p, self.graph, rng);
+        let diag = self.params.value(self.p.rel_diag).clone();
+        let auc = snapshot_auc(&reps, &diag, self.val);
+        self.staged = Some((reps, diag));
+        auc
+    }
+
+    fn promote(&mut self) {
+        if let Some((reps, diag)) = self.staged.take() {
+            *self.node_reps = Some(reps);
+            *self.relation_diag = Some(diag);
         }
-        let scores: Vec<f32> = val
-            .iter()
-            .map(|e| distmult_score(reps, diag, e.u, e.v, e.relation))
-            .collect();
-        let labels: Vec<bool> = val.iter().map(|e| e.label).collect();
-        mhg_eval::roc_auc(&scores, &labels)
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.node_reps.is_some()
     }
 }
 
@@ -159,72 +207,29 @@ impl LinkPredictor for RGcn {
                 InitKind::Uniform { limit: 1.0 }.init(num_rel, dim, rng),
             ),
         };
-        let mut opt = Adam::new(cfg.lr.min(0.01));
         let negatives = NegativeSampler::new(graph);
 
-        let mut edges: Vec<(NodeId, NodeId, RelationId)> = graph
+        let edges: Vec<(NodeId, NodeId, RelationId)> = graph
             .schema()
             .relations()
             .flat_map(|r| graph.edges_in(r).map(move |(u, v)| (u, v, r)))
             .collect();
 
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut report = TrainReport::default();
+        let sample = |_epoch: usize, rng: &mut StdRng| {
+            edge_batches(graph, &negatives, &edges, cfg.negatives.min(3), BATCH, rng)
+        };
 
-        for epoch in 0..cfg.epochs {
-            edges.shuffle(rng);
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for chunk in edges.chunks(BATCH) {
-                let mut lefts = Vec::new();
-                let mut rights = Vec::new();
-                let mut rels = Vec::new();
-                let mut labels = Vec::new();
-                for &(u, v, r) in chunk {
-                    lefts.push(u);
-                    rights.push(v);
-                    rels.push(r);
-                    labels.push(1.0);
-                    let ty = graph.node_type(v);
-                    for neg in negatives.sample_many(ty, v, cfg.negatives.min(3), rng) {
-                        lefts.push(u);
-                        rights.push(neg);
-                        rels.push(r);
-                        labels.push(-1.0);
-                    }
-                }
-                let mut g = Graph::new(&params);
-                let hl = Self::represent_on(&mut g, &p, graph, &lefts, rng);
-                let hr = Self::represent_on(&mut g, &p, graph, &rights, rng);
-                let scores = Self::distmult_on(&mut g, &p, hl, hr, &rels);
-                let loss = g.logistic_loss(scores, &labels);
-                loss_sum += g.scalar(loss) as f64;
-                batches += 1;
-                let grads = g.backward(loss);
-                opt.step(&mut params, &grads);
-            }
-
-            report.epochs_run = epoch + 1;
-            report.final_loss = (loss_sum / batches.max(1) as f64) as f32;
-
-            let reps = Self::full_inference(&params, &p, graph, rng);
-            let diag = params.value(p.rel_diag).clone();
-            let auc = self.snapshot_auc(&reps, &diag, data.val);
-            match stopper.update(auc) {
-                StopDecision::Improved => {
-                    self.node_reps = Some(reps);
-                    self.relation_diag = Some(diag);
-                }
-                StopDecision::Continue => {}
-                StopDecision::Stop => break,
-            }
-        }
-        if self.node_reps.is_none() {
-            self.node_reps = Some(Self::full_inference(&params, &p, graph, rng));
-            self.relation_diag = Some(params.value(p.rel_diag).clone());
-        }
-        report.best_val_auc = stopper.best();
-        report
+        let mut step = RgcnStep {
+            params,
+            p,
+            graph,
+            opt: Adam::new(cfg.lr.min(0.01)),
+            val: data.val,
+            node_reps: &mut self.node_reps,
+            relation_diag: &mut self.relation_diag,
+            staged: None,
+        };
+        mhg_train::train(&cfg.train_options(), sample, &mut step, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {

@@ -7,9 +7,14 @@
 //! engine remains the substrate for every model whose architecture is
 //! non-trivial (GNNs, attention models).
 
+use mhg_datasets::LabeledEdge;
 use mhg_graph::NodeId;
 use mhg_tensor::{sigmoid_scalar, InitKind, Tensor};
+use mhg_train::{BatchLoss, PairExample, TrainStep};
+use rand::rngs::StdRng;
 use rand::Rng;
+
+use crate::common::{val_auc, EmbeddingScores};
 
 /// A pair of embedding tables trained with the SGNS objective.
 #[derive(Clone, Debug)]
@@ -88,6 +93,65 @@ impl Sgns {
     /// The context table (LINE's second-order half uses it).
     pub fn contexts(&self) -> &Tensor {
         &self.ctx
+    }
+}
+
+/// The shared `TrainStep` of the plain-SGNS walk baselines (DeepWalk,
+/// node2vec): consumes pre-sampled [`PairExample`] batches, snapshots the
+/// target+context tables on improvement.
+pub(crate) struct SgnsStep<'a> {
+    model: Sgns,
+    lr: f32,
+    val: &'a [LabeledEdge],
+    scores: &'a mut EmbeddingScores,
+    staged: EmbeddingScores,
+}
+
+impl<'a> SgnsStep<'a> {
+    /// Wraps an initialized SGNS model and the slot its snapshot lands in.
+    pub(crate) fn new(
+        model: Sgns,
+        lr: f32,
+        val: &'a [LabeledEdge],
+        scores: &'a mut EmbeddingScores,
+    ) -> Self {
+        Self {
+            model,
+            lr,
+            val,
+            scores,
+            staged: EmbeddingScores::default(),
+        }
+    }
+}
+
+impl TrainStep for SgnsStep<'_> {
+    type Batch = Vec<PairExample>;
+
+    fn step(&mut self, batch: Vec<PairExample>, _rng: &mut StdRng) -> BatchLoss {
+        let mut loss_sum = 0.0f64;
+        let denom = batch.len();
+        for ex in batch {
+            loss_sum += self
+                .model
+                .train_pair(ex.center, ex.context, &ex.negatives, self.lr)
+                as f64;
+        }
+        BatchLoss { loss_sum, denom }
+    }
+
+    fn eval(&mut self, _rng: &mut StdRng) -> f64 {
+        self.staged = EmbeddingScores::shared(self.model.embeddings().clone())
+            .with_context(self.model.contexts().clone());
+        val_auc(&self.staged, self.val)
+    }
+
+    fn promote(&mut self) {
+        *self.scores = std::mem::take(&mut self.staged);
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.scores.is_ready()
     }
 }
 

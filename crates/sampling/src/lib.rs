@@ -13,12 +13,15 @@
 //! * [`NegativeSampler`] — heterogeneous (type-aware) unigram^0.75 negative
 //!   sampling.
 //! * [`pairs_from_walk`] — windowed skip-gram pair generation.
+//! * [`run_prefetched`] — double-buffered background batch production for
+//!   the training pipeline in `mhg-train`.
 
 mod alias;
 mod explore;
 mod negative;
 mod neighbors;
 mod pairs;
+mod prefetch;
 mod walks;
 
 pub use alias::AliasTable;
@@ -26,4 +29,5 @@ pub use explore::InterRelationshipExplorer;
 pub use negative::{NegativeSampler, UNIGRAM_POWER};
 pub use neighbors::{LayeredNeighbors, MetapathNeighborSampler, UniformNeighborSampler};
 pub use pairs::{pairs_from_walk, pairs_from_walks, Pair};
+pub use prefetch::run_prefetched;
 pub use walks::{MetapathWalker, Node2VecWalker, UniformWalker, Walk};

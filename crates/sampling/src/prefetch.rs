@@ -1,0 +1,100 @@
+//! Double-buffered background batch production.
+//!
+//! [`run_prefetched`] runs a producer closure on a scoped worker thread, one
+//! buffer ahead of the consumer: while the consumer processes buffer `e`,
+//! the worker generates buffer `e + 1`. The hand-off channel is a rendezvous
+//! (`sync_channel(0)`), so the worker can never run further ahead than one
+//! buffer — exactly double buffering, with bounded memory.
+//!
+//! Determinism is the producer's responsibility: `produce(i)` must be a pure
+//! function of `i` (e.g. by seeding an RNG from the buffer index, as
+//! `mhg-train` does), so the buffer stream is identical to calling
+//! `produce(0..n)` inline on the consumer thread.
+
+use std::sync::mpsc;
+use std::thread;
+
+/// Runs `consume` on the current thread while a scoped worker thread runs
+/// `produce(0), produce(1), …, produce(count - 1)` one buffer ahead.
+///
+/// `consume` receives a puller that yields the produced buffers in order and
+/// returns `None` after all `count` buffers were delivered. The consumer may
+/// stop pulling early (early stopping): remaining buffers are abandoned and
+/// the worker exits after at most one more in-flight `produce` call.
+///
+/// Returns `consume`'s result once the worker has shut down.
+pub fn run_prefetched<B, P, C, R>(count: usize, produce: &P, consume: C) -> R
+where
+    B: Send,
+    P: Fn(usize) -> B + Sync,
+    C: FnOnce(&mut dyn FnMut() -> Option<B>) -> R,
+{
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel::<B>(0);
+        scope.spawn(move || {
+            for idx in 0..count {
+                // A failed send means the consumer hung up early: stop.
+                if tx.send(produce(idx)).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut puller = move || rx.recv().ok();
+        let result = consume(&mut puller);
+        // Drop the receiver before the scope joins the worker, so a worker
+        // blocked in `send` fails out instead of deadlocking the join.
+        drop(puller);
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_all_buffers_in_order() {
+        let produce = |i: usize| i * i;
+        let collected = run_prefetched(5, &produce, |next| {
+            let mut got = Vec::new();
+            while let Some(v) = next() {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(collected, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn zero_buffers_is_immediately_exhausted() {
+        let produce = |i: usize| i;
+        let pulled = run_prefetched(0, &produce, |next| next());
+        assert_eq!(pulled, None);
+    }
+
+    #[test]
+    fn early_stop_does_not_deadlock() {
+        let produce = |i: usize| vec![i; 3];
+        // Pull only 2 of 100 buffers, then hang up.
+        let got = run_prefetched(100, &produce, |next| {
+            let a = next().expect("first buffer");
+            let b = next().expect("second buffer");
+            (a, b)
+        });
+        assert_eq!(got, (vec![0; 3], vec![1; 3]));
+    }
+
+    #[test]
+    fn borrows_consumer_state_across_threads() {
+        let base = [10usize, 20, 30];
+        let produce = |i: usize| base[i] + 1;
+        let sum = run_prefetched(3, &produce, |next| {
+            let mut s = 0usize;
+            while let Some(v) = next() {
+                s += v;
+            }
+            s
+        });
+        assert_eq!(sum, 63);
+    }
+}

@@ -1,0 +1,36 @@
+//! The shared training pipeline of the HybridGNN reproduction.
+//!
+//! Every model in the workspace — the nine baselines and HybridGNN itself —
+//! trains through the same explicit stage sequence owned by this crate:
+//!
+//! ```text
+//! Sampler ──► Batcher ──► Step (forward/backward/optim) ──► Validator/EarlyStop
+//! ```
+//!
+//! A model contributes two things: a **sampling recipe** (a closure that
+//! turns an epoch index and a seeded RNG into minibatches) and a
+//! [`TrainStep`] implementation (one optimizer step per batch, plus
+//! validation/snapshot hooks). The pipeline owns everything else: the epoch
+//! loop, loss averaging, early stopping, report bookkeeping and the
+//! per-stage timing breakdown.
+//!
+//! # Background sampling
+//!
+//! [`train`] can run the sampling recipe on a worker thread, double-buffered
+//! against the compute stage (see `mhg_sampling::run_prefetched`): while the
+//! main thread trains on epoch `e`, the worker generates the batches of
+//! epoch `e + 1`. Each epoch's sampler RNG is derived deterministically from
+//! a base seed and the epoch index ([`epoch_seed`]), so the produced batches
+//! are bit-identical whether sampling runs inline or in the background —
+//! the switch is purely a throughput knob.
+//!
+//! This crate is the single owner of training control flow: the `epoch-loop`
+//! rule of `mhg-lint` flags `for epoch in` loops anywhere outside it.
+
+mod pipeline;
+mod recipes;
+mod report;
+
+pub use pipeline::{epoch_seed, train, BatchLoss, TrainOptions, TrainStep};
+pub use recipes::{edge_batches, pair_batches, EdgeBatch, PairExample};
+pub use report::{pair_budget, EarlyStopper, StopDecision, TimingBreakdown, TrainReport};

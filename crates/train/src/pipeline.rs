@@ -1,0 +1,305 @@
+//! The epoch control flow: Sampler → Batcher → Step → Validator/EarlyStop.
+
+use std::time::Instant;
+
+use mhg_sampling::run_prefetched;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{EarlyStopper, StopDecision, TrainReport};
+
+/// Loop-level options shared by every model.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainOptions {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+    /// Run the sampling recipe on a background worker thread, double-
+    /// buffered against the step stage. Bit-identical to inline sampling.
+    pub background: bool,
+}
+
+/// Loss contribution of one minibatch step.
+///
+/// `denom` is whatever the model normalises its epoch loss by: the item
+/// count for per-pair update models (SGNS), `1` for tape models whose loss
+/// op already returns a batch mean.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchLoss {
+    /// Summed loss over the batch (in the model's own normalisation).
+    pub loss_sum: f64,
+    /// Number of units `loss_sum` accumulates over.
+    pub denom: usize,
+}
+
+/// The per-model half of the pipeline: one optimizer step per minibatch,
+/// plus the validation/snapshot hooks the Validator stage drives.
+///
+/// Contract: [`TrainStep::eval`] scores the *current* parameters on the
+/// validation set and stages a snapshot candidate; [`TrainStep::promote`]
+/// commits the staged candidate as the model's final artefact (called only
+/// when validation improved); [`TrainStep::is_fitted`] reports whether a
+/// final artefact exists. The pipeline guarantees `promote` is called at
+/// least once per `fit`, so `is_fitted` holds on return from [`train`].
+pub trait TrainStep {
+    /// One epoch's minibatch unit, produced by the sampling recipe.
+    /// `Send` so batches can cross from the prefetch worker thread.
+    type Batch: Send;
+
+    /// Performs one forward/backward/optimizer step on `batch`.
+    fn step(&mut self, batch: Self::Batch, rng: &mut StdRng) -> BatchLoss;
+
+    /// Evaluates the current parameters on the validation set, staging a
+    /// snapshot candidate; returns the validation metric (ROC-AUC).
+    fn eval(&mut self, rng: &mut StdRng) -> f64;
+
+    /// Commits the candidate staged by the last [`TrainStep::eval`] call.
+    fn promote(&mut self);
+
+    /// Whether a final artefact has been committed.
+    fn is_fitted(&self) -> bool;
+}
+
+/// Derives the sampler seed for `epoch` from `base` (splitmix64 finalizer).
+///
+/// Sampling RNG streams are a pure function of `(base, epoch)` — never of
+/// training progress — which is what lets the background worker run one
+/// epoch ahead of the step stage without changing any result.
+pub fn epoch_seed(base: u64, epoch: u64) -> u64 {
+    let mut z = base ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs the full training loop: samples each epoch with `sample` (inline or
+/// double-buffered on a background thread per `opts.background`), steps
+/// `step` over the produced batches, validates, early-stops, and returns a
+/// uniformly initialized and finalized [`TrainReport`].
+///
+/// `sample(epoch, rng)` receives an RNG seeded by [`epoch_seed`] from a
+/// base drawn once from `rng`; `step` hooks receive `rng` itself. The two
+/// streams are independent, so background and inline sampling produce
+/// byte-identical models.
+pub fn train<S, T>(opts: &TrainOptions, sample: S, step: &mut T, rng: &mut StdRng) -> TrainReport
+where
+    T: TrainStep,
+    S: Fn(usize, &mut StdRng) -> Vec<T::Batch> + Sync,
+{
+    let base: u64 = rng.gen();
+    let mut report = TrainReport::default();
+    let mut stopper = EarlyStopper::new(opts.patience);
+
+    // Sampling stage: timed where it runs (worker thread or inline).
+    let produce = |epoch: usize| -> (Vec<T::Batch>, f64) {
+        let started = Instant::now();
+        let mut sample_rng = StdRng::seed_from_u64(epoch_seed(base, epoch as u64));
+        let batches = sample(epoch, &mut sample_rng);
+        (batches, ms_since(started))
+    };
+
+    if opts.background && opts.epochs > 0 {
+        run_prefetched(opts.epochs, &produce, |next| {
+            drive(step, rng, &mut report, &mut stopper, next);
+        });
+    } else {
+        let mut epoch = 0usize;
+        let epochs = opts.epochs;
+        drive(step, rng, &mut report, &mut stopper, &mut || {
+            if epoch >= epochs {
+                return None;
+            }
+            let buffer = produce(epoch);
+            epoch += 1;
+            Some(buffer)
+        });
+    }
+
+    if !step.is_fitted() {
+        // 0-epoch runs: still produce the final artefact and a real
+        // validation score from the initial parameters, so every report is
+        // finalized the same way. (With ≥ 1 epoch the first eval always
+        // improves on −∞ and promotes.)
+        let started = Instant::now();
+        let auc = step.eval(rng);
+        report.timing.eval_ms += ms_since(started);
+        stopper.update(auc);
+        step.promote();
+    }
+    report.best_val_auc = stopper.best();
+    report
+}
+
+/// The epoch loop body, shared between the inline and background paths:
+/// `next` yields `(batches, sample_ms)` buffers until the epoch budget or
+/// early stopping ends the run.
+fn drive<T: TrainStep>(
+    step: &mut T,
+    rng: &mut StdRng,
+    report: &mut TrainReport,
+    stopper: &mut EarlyStopper,
+    next: &mut dyn FnMut() -> Option<(Vec<T::Batch>, f64)>,
+) {
+    while let Some((batches, sample_ms)) = next() {
+        report.timing.sample_ms += sample_ms;
+
+        let started = Instant::now();
+        let mut loss_sum = 0.0f64;
+        let mut denom = 0usize;
+        for batch in batches {
+            let loss = step.step(batch, rng);
+            loss_sum += loss.loss_sum;
+            denom += loss.denom;
+        }
+        report.timing.compute_ms += ms_since(started);
+
+        report.epochs_run += 1;
+        report.final_loss = (loss_sum / denom.max(1) as f64) as f32;
+
+        let started = Instant::now();
+        let auc = step.eval(rng);
+        report.timing.eval_ms += ms_since(started);
+        match stopper.update(auc) {
+            StopDecision::Improved => step.promote(),
+            StopDecision::Continue => {}
+            StopDecision::Stop => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy step: the "model" is a counter; validation improves for the
+    /// first `peak` epochs then plateaus, triggering early stopping.
+    struct CountingStep {
+        steps: usize,
+        evals: usize,
+        promoted: usize,
+        fitted: bool,
+        peak: usize,
+        trace: Vec<u64>,
+    }
+
+    impl CountingStep {
+        fn new(peak: usize) -> Self {
+            Self {
+                steps: 0,
+                evals: 0,
+                promoted: 0,
+                fitted: false,
+                peak,
+                trace: Vec::new(),
+            }
+        }
+    }
+
+    impl TrainStep for CountingStep {
+        type Batch = Vec<u64>;
+
+        fn step(&mut self, batch: Vec<u64>, _rng: &mut StdRng) -> BatchLoss {
+            self.steps += 1;
+            self.trace.extend(batch.iter().copied());
+            BatchLoss {
+                loss_sum: batch.len() as f64,
+                denom: batch.len(),
+            }
+        }
+
+        fn eval(&mut self, _rng: &mut StdRng) -> f64 {
+            self.evals += 1;
+            self.evals.min(self.peak) as f64
+        }
+
+        fn promote(&mut self) {
+            self.promoted += 1;
+            self.fitted = true;
+        }
+
+        fn is_fitted(&self) -> bool {
+            self.fitted
+        }
+    }
+
+    fn recipe(epoch: usize, rng: &mut StdRng) -> Vec<Vec<u64>> {
+        // Two batches per epoch whose content depends on the epoch RNG.
+        vec![
+            vec![epoch as u64, rng.gen()],
+            vec![rng.gen(), rng.gen(), rng.gen()],
+        ]
+    }
+
+    fn run(background: bool, epochs: usize, peak: usize) -> (TrainReport, CountingStep) {
+        let opts = TrainOptions {
+            epochs,
+            patience: 2,
+            background,
+        };
+        let mut step = CountingStep::new(peak);
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = train(&opts, recipe, &mut step, &mut rng);
+        (report, step)
+    }
+
+    #[test]
+    fn background_matches_inline_exactly() {
+        let (r_in, s_in) = run(false, 6, 10);
+        let (r_bg, s_bg) = run(true, 6, 10);
+        assert_eq!(s_in.trace, s_bg.trace, "batch streams must be identical");
+        assert_eq!(r_in.epochs_run, r_bg.epochs_run);
+        assert_eq!(r_in.final_loss, r_bg.final_loss);
+        assert_eq!(r_in.best_val_auc, r_bg.best_val_auc);
+    }
+
+    #[test]
+    fn early_stopping_cuts_the_run() {
+        // Improves for 3 epochs, patience 2 → stops at epoch 5.
+        let (report, step) = run(false, 30, 3);
+        assert_eq!(report.epochs_run, 5);
+        assert_eq!(step.promoted, 3);
+        assert!((report.best_val_auc - 3.0).abs() < 1e-12);
+        let (report_bg, _) = run(true, 30, 3);
+        assert_eq!(report_bg.epochs_run, 5);
+    }
+
+    #[test]
+    fn zero_epoch_run_is_finalized_uniformly() {
+        for background in [false, true] {
+            let (report, step) = run(background, 0, 10);
+            assert_eq!(report.epochs_run, 0);
+            assert_eq!(report.final_loss, 0.0);
+            // Still evaluated and promoted once from initial parameters.
+            assert_eq!(step.evals, 1);
+            assert_eq!(step.promoted, 1);
+            assert!(step.is_fitted());
+            assert!((report.best_val_auc - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn epoch_seed_is_stable_and_spread() {
+        assert_eq!(epoch_seed(42, 0), epoch_seed(42, 0));
+        assert_ne!(epoch_seed(42, 0), epoch_seed(42, 1));
+        assert_ne!(epoch_seed(42, 1), epoch_seed(43, 1));
+    }
+
+    #[test]
+    fn timing_is_accumulated() {
+        let (report, _) = run(false, 3, 10);
+        // Totals are non-negative and finite; exact values are wall-clock.
+        assert!(report.timing.sample_ms >= 0.0);
+        assert!(report.timing.compute_ms >= 0.0);
+        assert!(report.timing.eval_ms >= 0.0);
+        assert!(report
+            .timing
+            .per_epoch(report.epochs_run)
+            .sample_ms
+            .is_finite());
+    }
+}

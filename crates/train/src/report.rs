@@ -1,0 +1,146 @@
+//! Training-run summaries, early stopping and shared budgets.
+
+/// Per-stage wall-clock totals of a training run, in milliseconds.
+///
+/// `sample_ms` counts the time spent *producing* batches, wherever that
+/// happened — on the main thread (inline sampling) or on the prefetch
+/// worker (background sampling). Under background sampling the sample and
+/// compute stages overlap, so the totals can legitimately sum to more than
+/// the run's wall-clock time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimingBreakdown {
+    /// Total time in the sampling stage (walks, pair/negative sampling).
+    pub sample_ms: f64,
+    /// Total time in the step stage (forward/backward/optimizer).
+    pub compute_ms: f64,
+    /// Total time in the validation stage (inference + metric).
+    pub eval_ms: f64,
+}
+
+impl TimingBreakdown {
+    /// The per-epoch mean breakdown over `epochs` epochs (identity for 0).
+    pub fn per_epoch(&self, epochs: usize) -> TimingBreakdown {
+        let n = epochs.max(1) as f64;
+        TimingBreakdown {
+            sample_ms: self.sample_ms / n,
+            compute_ms: self.compute_ms / n,
+            eval_ms: self.eval_ms / n,
+        }
+    }
+}
+
+/// Summary of a training run, produced uniformly by [`crate::train`]: the
+/// pipeline initializes it, updates it every epoch, and finalizes it after
+/// the loop — a 0-epoch run still yields a fully consistent report
+/// (`epochs_run = 0`, a real `best_val_auc` from the initial parameters).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrainReport {
+    /// Epochs actually executed (≤ configured epochs under early stopping).
+    pub epochs_run: usize,
+    /// Mean loss of the final epoch.
+    pub final_loss: f32,
+    /// Best validation ROC-AUC observed.
+    pub best_val_auc: f64,
+    /// Wall-clock totals per pipeline stage.
+    pub timing: TimingBreakdown,
+}
+
+/// Per-epoch skip-gram pair budget for the *tape-based* walk models (GATNE,
+/// HybridGNN): `12 × |E|`, clamped so dense graphs stay tractable on CPU.
+///
+/// The plain-SGNS baselines (DeepWalk, node2vec, LINE) keep the paper's
+/// full 20×10 walk protocol instead: their hand-rolled update is ~50×
+/// cheaper per pair, so equal *wall-clock* budgets — the normalisation the
+/// paper's single-GPU-hours setting implies — give them proportionally
+/// more samples. Capping everyone to this budget was tried and starves the
+/// SGNS models into sub-random territory (see DESIGN.md §3.1).
+pub fn pair_budget(num_edges: usize) -> usize {
+    (12 * num_edges).clamp(512, 60_000)
+}
+
+/// Early-stopping state machine over validation ROC-AUC.
+#[derive(Clone, Copy, Debug)]
+pub struct EarlyStopper {
+    best: f64,
+    epochs_since_best: usize,
+    patience: usize,
+}
+
+/// What to do after reporting a validation score.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopDecision {
+    /// New best — snapshot the model.
+    Improved,
+    /// No improvement yet; keep training.
+    Continue,
+    /// Patience exhausted; stop.
+    Stop,
+}
+
+impl EarlyStopper {
+    /// Creates a stopper with the given patience.
+    pub fn new(patience: usize) -> Self {
+        Self {
+            best: f64::NEG_INFINITY,
+            epochs_since_best: 0,
+            patience,
+        }
+    }
+
+    /// Reports this epoch's validation metric.
+    pub fn update(&mut self, val_metric: f64) -> StopDecision {
+        if val_metric > self.best {
+            self.best = val_metric;
+            self.epochs_since_best = 0;
+            StopDecision::Improved
+        } else {
+            self.epochs_since_best += 1;
+            if self.epochs_since_best >= self.patience {
+                StopDecision::Stop
+            } else {
+                StopDecision::Continue
+            }
+        }
+    }
+
+    /// Best metric seen so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_stopper_lifecycle() {
+        let mut s = EarlyStopper::new(2);
+        assert_eq!(s.update(0.6), StopDecision::Improved);
+        assert_eq!(s.update(0.55), StopDecision::Continue);
+        assert_eq!(s.update(0.7), StopDecision::Improved);
+        assert_eq!(s.update(0.69), StopDecision::Continue);
+        assert_eq!(s.update(0.69), StopDecision::Stop);
+        assert!((s.best() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_budget_clamps() {
+        assert_eq!(pair_budget(0), 512);
+        assert_eq!(pair_budget(1_000), 12_000);
+        assert_eq!(pair_budget(1_000_000), 60_000);
+    }
+
+    #[test]
+    fn timing_per_epoch_divides() {
+        let t = TimingBreakdown {
+            sample_ms: 10.0,
+            compute_ms: 20.0,
+            eval_ms: 5.0,
+        };
+        let p = t.per_epoch(5);
+        assert!((p.sample_ms - 2.0).abs() < 1e-12);
+        assert!((p.compute_ms - 4.0).abs() < 1e-12);
+        assert!((p.eval_ms - 1.0).abs() < 1e-12);
+    }
+}
