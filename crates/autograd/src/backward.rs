@@ -37,11 +37,7 @@ impl Graph<'_> {
             match &self.nodes[i].op {
                 Op::Leaf => {}
                 Op::Param(pid) => store.accumulate_dense(*pid, g),
-                Op::Gather { pid, indices } => {
-                    for (r, &idx) in indices.iter().enumerate() {
-                        store.accumulate_row(*pid, idx as usize, g.row(r));
-                    }
-                }
+                Op::Gather { pid, indices } => store.accumulate_gather(*pid, indices, &g),
                 Op::Add(a, b) => {
                     accumulate(&mut grads, *a, g.clone());
                     accumulate(&mut grads, *b, g);
@@ -81,16 +77,24 @@ impl Graph<'_> {
                     accumulate(&mut grads, *a, ga);
                 }
                 Op::SoftmaxRows(a) => {
-                    // Per row: dx = y ⊙ (dy − (dy·y) 1)
+                    // Per row: dx = y ⊙ (dy − (dy·y) 1); rows are independent,
+                    // so they parallelise under the mhg-par contract.
                     let y = &self.nodes[i].value;
-                    let mut ga = Tensor::zeros(y.rows(), y.cols());
-                    for r in 0..y.rows() {
-                        let dy = g.row(r);
-                        let yr = y.row(r);
-                        let dot: f32 = dy.iter().zip(yr).map(|(d, v)| d * v).sum();
-                        for ((o, &d), &v) in ga.row_mut(r).iter_mut().zip(dy).zip(yr) {
-                            *o = v * (d - dot);
-                        }
+                    let cols = y.cols();
+                    let mut ga = Tensor::zeros(y.rows(), cols);
+                    if !ga.is_empty() {
+                        let (gs, ys) = (g.as_slice(), y.as_slice());
+                        mhg_par::par_chunks_mut(ga.as_mut_slice(), cols, 4 * cols, |r0, chunk| {
+                            for (rr, out_row) in chunk.chunks_exact_mut(cols).enumerate() {
+                                let r = r0 + rr;
+                                let dy = &gs[r * cols..(r + 1) * cols];
+                                let yr = &ys[r * cols..(r + 1) * cols];
+                                let dot: f32 = dy.iter().zip(yr).map(|(d, v)| d * v).sum();
+                                for ((o, &d), &v) in out_row.iter_mut().zip(dy).zip(yr) {
+                                    *o = v * (d - dot);
+                                }
+                            }
+                        });
                     }
                     accumulate(&mut grads, *a, ga);
                 }

@@ -207,6 +207,81 @@ impl GradStore {
         }
     }
 
+    /// Accumulates the gradient of a whole gathered batch at once:
+    /// `grad.row(r)` is added into row `indices[r]` of parameter `id`.
+    ///
+    /// Runs on the `mhg-par` pool while keeping the sparse representation:
+    /// workers build partial row maps over fixed destination-index ranges
+    /// (each destination row's contributions are visited in input order, so
+    /// its sum is the same for any partition of the index space), and the
+    /// disjoint partials merge in partition order — bit-identical for any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len() != grad.rows()` or the width mismatches an
+    /// existing gradient for `id`.
+    pub fn accumulate_gather(&mut self, id: ParamId, indices: &[u32], grad: &Tensor) {
+        use std::collections::hash_map::Entry;
+        assert_eq!(
+            indices.len(),
+            grad.rows(),
+            "accumulate_gather: {} indices for {} gradient rows",
+            indices.len(),
+            grad.rows()
+        );
+        if indices.is_empty() {
+            return;
+        }
+        if let Some(Grad::Dense(existing)) = self.grads.get_mut(&id) {
+            existing.scatter_add_rows(indices, grad);
+            return;
+        }
+        let cols = grad.cols();
+        let span = indices
+            .iter()
+            .map(|&i| i as usize)
+            .max()
+            .map_or(0, |m| m + 1);
+        let partials = mhg_par::par_partitions(span, indices.len() * (cols + 1), |range| {
+            let mut map: HashMap<usize, Vec<f32>> = HashMap::new();
+            for (r, &idx) in indices.iter().enumerate() {
+                let idx = idx as usize;
+                if range.contains(&idx) {
+                    let entry = map.entry(idx).or_insert_with(|| vec![0.0; cols]);
+                    for (e, g) in entry.iter_mut().zip(grad.row(r)) {
+                        *e += g;
+                    }
+                }
+            }
+            map
+        });
+        match self.grads.entry(id).or_insert_with(|| Grad::Rows {
+            cols,
+            rows: HashMap::new(),
+        }) {
+            // Unreachable in practice (handled above), but kept correct.
+            Grad::Dense(existing) => existing.scatter_add_rows(indices, grad),
+            Grad::Rows { cols: width, rows } => {
+                assert_eq!(*width, cols, "gradient width mismatch");
+                for map in partials {
+                    for (row, partial) in map {
+                        match rows.entry(row) {
+                            Entry::Occupied(mut e) => {
+                                for (a, b) in e.get_mut().iter_mut().zip(&partial) {
+                                    *a += b;
+                                }
+                            }
+                            Entry::Vacant(v) => {
+                                v.insert(partial);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// The gradient for `id`, if any part of the model touched it.
     pub fn get(&self, id: ParamId) -> Option<&Grad> {
         self.grads.get(&id)

@@ -1,0 +1,292 @@
+//! Kernel and epoch benchmarks for the `mhg-par` pool: times every ported
+//! kernel plus one HybridGNN training epoch at 1 thread vs N threads and
+//! writes machine-readable baselines to `BENCH_kernels.json` at the repo
+//! root, so future PRs can measure perf regressions against this PR.
+//!
+//! Flags: `--scale F` (dataset scale for the epoch benchmark, default 0.25),
+//! `--threads N` (the "N threads" column, default `max(MHG_THREADS, 4)`),
+//! `--out PATH` (output path, default `<repo root>/BENCH_kernels.json`).
+//!
+//! Determinism note: the pool guarantees bit-identical results for any
+//! thread count, so these numbers are pure throughput — see DESIGN.md §2.10.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hybridgnn::{HybridConfig, HybridGnn};
+use mhg_datasets::{DatasetKind, EdgeSplit};
+use mhg_models::{CommonConfig, FitData, LinkPredictor};
+use mhg_tensor::{InitKind, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measurement row of the emitted JSON.
+struct Entry {
+    op: String,
+    size: String,
+    threads: usize,
+    ns_per_iter: f64,
+    speedup_vs_1t: f64,
+}
+
+/// Times `f` adaptively (~0.2 s per measurement after one warmup call) and
+/// returns ns per iteration.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64();
+    let iters = (0.2 / once.max(1e-9)).clamp(1.0, 1000.0) as usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// Benchmarks `f` at 1 thread and `threads` threads, appending both rows.
+fn bench(entries: &mut Vec<Entry>, op: &str, size: &str, threads: usize, f: impl Fn()) {
+    let serial = mhg_par::with_threads(1, || time_ns(&f));
+    entries.push(Entry {
+        op: op.to_string(),
+        size: size.to_string(),
+        threads: 1,
+        ns_per_iter: serial,
+        speedup_vs_1t: 1.0,
+    });
+    let parallel = mhg_par::with_threads(threads, || time_ns(&f));
+    entries.push(Entry {
+        op: op.to_string(),
+        size: size.to_string(),
+        threads,
+        ns_per_iter: parallel,
+        speedup_vs_1t: serial / parallel.max(1e-9),
+    });
+    eprintln!(
+        "{op:26} {size:24} 1t {:>12.0} ns   {threads}t {:>12.0} ns   speedup {:.2}x",
+        serial,
+        parallel,
+        serial / parallel.max(1e-9)
+    );
+}
+
+/// The seed repo's matmul inner loop (with the `a_ik == 0.0` skip branch),
+/// kept here as a reference point for the branch-removal satellite: the
+/// `matmul_seed_scalar` rows measure how much the branch-free kernel gains
+/// from auto-vectorisation alone, independent of threading.
+fn seed_scalar_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(m, n);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let c = out.as_mut_slice();
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &bv[kk * n..(kk + 1) * n];
+            for (c_v, b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ik * b_v;
+            }
+        }
+    }
+    out
+}
+
+fn epoch_secs(scale: f64, threads: usize) -> f64 {
+    mhg_par::with_threads(threads, || {
+        let dataset = DatasetKind::Amazon.generate(scale, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
+        let mut cfg = HybridConfig {
+            common: CommonConfig::default(),
+            ..HybridConfig::default()
+        };
+        cfg.common.epochs = 1;
+        cfg.common.patience = 10;
+        let mut model = HybridGnn::new(cfg);
+        let data = FitData {
+            graph: &split.train_graph,
+            metapath_shapes: &dataset.metapath_shapes,
+            val: &split.val,
+        };
+        let start = Instant::now();
+        let report = model.fit(&data, &mut rng);
+        assert!(report.epochs_run > 0, "epoch benchmark ran zero epochs");
+        start.elapsed().as_secs_f64()
+    })
+}
+
+fn flag(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let scale: f64 = flag("--scale").and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let threads: usize = flag("--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| mhg_par::current_threads().max(4));
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let out_path: PathBuf = flag("--out").map_or_else(
+        || {
+            // crates/bench → workspace root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
+        },
+        PathBuf::from,
+    );
+
+    let mut rng = StdRng::seed_from_u64(2022);
+    let init = InitKind::Uniform { limit: 1.0 };
+    // Paper scale: batch = 2048 walk pairs, d_m = 128 (and the 512 ceiling
+    // of the sensitivity sweep), 10k-node embedding tables.
+    let a = init.init(2048, 128, &mut rng);
+    let b = init.init(128, 128, &mut rng);
+    let a512 = init.init(2048, 512, &mut rng);
+    let b512 = init.init(512, 512, &mut rng);
+    let wide = init.init(2048, 512, &mut rng);
+    let table = init.init(10_000, 128, &mut rng);
+    let indices: Vec<usize> = (0..2048).map(|i| (i * 31) % 10_000).collect();
+    let idx32: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
+    let grad = init.init(2048, 128, &mut rng);
+
+    let mut entries = Vec::new();
+    eprintln!("bench_kernels: cpus={cpus}, comparing 1 thread vs {threads} threads");
+
+    // Vectorisation reference: the seed's branchy scalar kernel, serial.
+    let seed_ns = mhg_par::with_threads(1, || time_ns(|| drop(seed_scalar_matmul(&a, &b))));
+    let new_ns = mhg_par::with_threads(1, || time_ns(|| drop(a.matmul(&b))));
+    entries.push(Entry {
+        op: "matmul_seed_scalar".to_string(),
+        size: "2048x128 * 128x128".to_string(),
+        threads: 1,
+        ns_per_iter: seed_ns,
+        speedup_vs_1t: new_ns / seed_ns.max(1e-9), // < 1 ⇒ seed kernel slower
+    });
+    eprintln!(
+        "{:26} {:24} 1t {seed_ns:>12.0} ns   (branch-free 1t kernel is {:.2}x faster)",
+        "matmul_seed_scalar",
+        "2048x128 * 128x128",
+        seed_ns / new_ns.max(1e-9)
+    );
+
+    bench(
+        &mut entries,
+        "matmul",
+        "2048x128 * 128x128",
+        threads,
+        || {
+            drop(a.matmul(&b));
+        },
+    );
+    bench(
+        &mut entries,
+        "matmul",
+        "2048x512 * 512x512",
+        threads,
+        || {
+            drop(a512.matmul(&b512));
+        },
+    );
+    bench(
+        &mut entries,
+        "matmul_transposed",
+        "2048x128 * (2048x128)T",
+        threads,
+        || drop(a.matmul_transposed(&grad)),
+    );
+    bench(&mut entries, "transpose", "2048x512", threads, || {
+        drop(wide.transpose());
+    });
+    bench(&mut entries, "zip_map", "2048x512", threads, || {
+        drop(wide.zip_map(&a512, |x, y| x * y + 0.5));
+    });
+    bench(&mut entries, "map_sigmoid", "2048x512", threads, || {
+        drop(wide.sigmoid());
+    });
+    bench(&mut entries, "softmax_rows", "2048x128", threads, || {
+        drop(a.softmax_rows());
+    });
+    bench(
+        &mut entries,
+        "gather_rows",
+        "2048 rows of 10000x128",
+        threads,
+        || drop(table.gather_rows(&indices)),
+    );
+    bench(
+        &mut entries,
+        "scatter_add_rows",
+        "2048 rows into 10000x128",
+        threads,
+        || {
+            let mut acc = table.clone();
+            acc.scatter_add_rows(&idx32, &grad);
+        },
+    );
+
+    // One full HybridGNN epoch (paper hyper-parameters, Amazon dataset).
+    let epoch_size = format!("amazon scale {scale}, dim 128, 1 epoch");
+    let e1 = epoch_secs(scale, 1);
+    let en = epoch_secs(scale, threads);
+    entries.push(Entry {
+        op: "hybridgnn_epoch".to_string(),
+        size: epoch_size.clone(),
+        threads: 1,
+        ns_per_iter: e1 * 1e9,
+        speedup_vs_1t: 1.0,
+    });
+    entries.push(Entry {
+        op: "hybridgnn_epoch".to_string(),
+        size: epoch_size.clone(),
+        threads,
+        ns_per_iter: en * 1e9,
+        speedup_vs_1t: e1 / en.max(1e-9),
+    });
+    eprintln!(
+        "{:26} {:24} 1t {:>9.2} s     {threads}t {:>9.2} s    speedup {:.2}x",
+        "hybridgnn_epoch",
+        epoch_size,
+        e1,
+        en,
+        e1 / en.max(1e-9)
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run -p mhg-bench --bin bench_kernels\","
+    );
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"op\": \"{}\", \"size\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.0}, \"speedup_vs_1t\": {:.3}}}{comma}",
+            json_escape(&e.op),
+            json_escape(&e.size),
+            e.threads,
+            e.ns_per_iter,
+            e.speedup_vs_1t
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {}", out_path.display());
+}

@@ -9,13 +9,14 @@ use mhg_datasets::LabeledEdge;
 use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, NodeTypeId, RelationId};
 use mhg_models::{EmbeddingScores, FitData, LinkPredictor, TrainReport};
 use mhg_sampling::{
-    pairs_from_walk, InterRelationshipExplorer, MetapathNeighborSampler, MetapathWalker,
-    NegativeSampler, Pair, UniformNeighborSampler,
+    derive_seed, pairs_from_walk, sharded_over, InterRelationshipExplorer, MetapathNeighborSampler,
+    MetapathWalker, NegativeSampler, Pair, UniformNeighborSampler,
 };
 use mhg_tensor::{InitKind, Tensor};
 use mhg_train::{pair_batches, BatchLoss, PairExample, TrainStep};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 use crate::config::AggregatorKind;
 use crate::config::HybridConfig;
@@ -458,24 +459,42 @@ impl LinkPredictor for HybridGnn {
         let pair_budget = mhg_models::pair_budget(graph.num_edges());
 
         // Metapath-based training walks per relation (§III-E). These same
-        // walks drive the aggregation sampling statistics.
+        // walks drive the aggregation sampling statistics. Each (relation,
+        // shape) stream generates its walks in fixed shards with one derived
+        // sub-RNG per shard, so the walk set is bit-identical for any thread
+        // count; the post-walk shuffle keeps the SGD pair order random.
         let sample = |_epoch: usize, rng: &mut StdRng| {
+            let base: u64 = rng.gen();
             let mut tagged: Vec<(Pair, RelationId)> = Vec::new();
             for r in graph.schema().relations() {
-                for (shape, _) in &shapes {
+                for (shape_idx, (shape, _)) in shapes.iter().enumerate() {
                     let scheme = MetapathScheme::intra(shape.clone(), r);
                     let walker = MetapathWalker::new(graph, scheme);
-                    for &start in graph.nodes_of_type(shape[0]) {
-                        if graph.degree(start, r) == 0 {
-                            continue;
-                        }
-                        for _ in 0..common.walks_per_node.min(3) {
-                            let walk = walker.walk(start, common.walk_length, rng);
-                            for pair in pairs_from_walk(&walk, common.window) {
-                                tagged.push((pair, r));
+                    let starts: Vec<NodeId> = graph
+                        .nodes_of_type(shape[0])
+                        .iter()
+                        .copied()
+                        .filter(|&start| graph.degree(start, r) > 0)
+                        .collect();
+                    let stream = ((r.index() as u64) << 32) | shape_idx as u64;
+                    tagged.extend(sharded_over(
+                        derive_seed(base, stream),
+                        &starts,
+                        |shard, rng| {
+                            let mut out = Vec::new();
+                            for &start in shard {
+                                for _ in 0..common.walks_per_node.min(3) {
+                                    let walk = walker.walk(start, common.walk_length, rng);
+                                    out.extend(
+                                        pairs_from_walk(&walk, common.window)
+                                            .into_iter()
+                                            .map(|pair| (pair, r)),
+                                    );
+                                }
                             }
-                        }
-                    }
+                            out
+                        },
+                    ));
                 }
             }
             tagged.shuffle(rng);

@@ -22,6 +22,11 @@
 //!   training epoch loop (sampling, stepping, early stopping, reporting)
 //!   is owned by `mhg_train::train`; a model writing its own loop forks
 //!   the pipeline's determinism and timing contracts.
+//! * **raw-thread** — no `std::thread::spawn` / `thread::scope` outside
+//!   `crates/par` and `crates/train`. All data parallelism must go through
+//!   the `mhg-par` pool, whose fixed-partition contract keeps results
+//!   bit-identical for any thread count; ad-hoc threads have no such
+//!   guarantee.
 //!
 //! Findings that are individually justified live in the `lint.allow` file at
 //! the workspace root; see [`parse_allowlist`] for the format. The scanner is
@@ -49,6 +54,8 @@ pub enum Rule {
     ShapeAssert,
     /// Hand-rolled training epoch loop outside `crates/train`.
     EpochLoop,
+    /// Raw `std::thread` usage outside the sanctioned pool crates.
+    RawThread,
 }
 
 impl Rule {
@@ -61,6 +68,7 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::ShapeAssert => "shape-assert",
             Rule::EpochLoop => "epoch-loop",
+            Rule::RawThread => "raw-thread",
         }
     }
 }
@@ -108,6 +116,8 @@ pub struct FileClass {
     pub shape_assert: bool,
     /// Epoch-loop rule applies.
     pub epoch_loop: bool,
+    /// Raw-thread rule applies.
+    pub raw_thread: bool,
 }
 
 /// Crates whose forward/training path must never read the wall clock.
@@ -136,6 +146,7 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
         shape_assert: rel_path == "crates/tensor/src/ops.rs"
             || rel_path == "crates/tensor/src/tensor.rs",
         epoch_loop: krate != "train",
+        raw_thread: krate != "par" && krate != "train",
     })
 }
 
@@ -341,6 +352,16 @@ const PATTERNS: &[(Rule, &str, &str)] = &[
         "for epoch in",
         "hand-rolled epoch loop — drive training through `mhg_train::train`",
     ),
+    (
+        Rule::RawThread,
+        "thread::spawn",
+        "raw thread spawn — use the deterministic `mhg_par` pool",
+    ),
+    (
+        Rule::RawThread,
+        "thread::scope",
+        "raw scoped threads — use the deterministic `mhg_par` pool",
+    ),
 ];
 
 fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
@@ -351,6 +372,7 @@ fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
         Rule::MissingDocs => class.missing_docs,
         Rule::ShapeAssert => class.shape_assert,
         Rule::EpochLoop => class.epoch_loop,
+        Rule::RawThread => class.raw_thread,
     }
 }
 

@@ -136,6 +136,32 @@ fn epoch_fixture_fires_everywhere_but_the_train_crate() {
 }
 
 #[test]
+fn thread_fixture_fires_raw_thread_outside_pool_crates() {
+    let src = include_str!("fixtures/bad_thread.rs");
+    // thread::spawn + thread::scope in library code; the `#[cfg(test)]`
+    // spawn is exempt.
+    let in_models = rules_fired("crates/models/src/bad_thread.rs", src);
+    assert_eq!(
+        count(&in_models, Rule::RawThread),
+        2,
+        "diagnostics: {in_models:?}"
+    );
+    // The pool crate and the pipeline crate own their threads.
+    let in_par = rules_fired("crates/par/src/bad_thread.rs", src);
+    assert_eq!(
+        count(&in_par, Rule::RawThread),
+        0,
+        "diagnostics: {in_par:?}"
+    );
+    let in_train = rules_fired("crates/train/src/bad_thread.rs", src);
+    assert_eq!(
+        count(&in_train, Rule::RawThread),
+        0,
+        "diagnostics: {in_train:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     // Scan under the strictest scoping: a tensor kernel file gets every rule.
     let fired = rules_fired(

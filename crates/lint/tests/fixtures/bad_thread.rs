@@ -1,0 +1,25 @@
+//! raw-thread fixture: raw `std::thread` usage outside the pool crates.
+
+use std::thread;
+
+pub fn spawns_detached_worker() {
+    let handle = thread::spawn(|| 1 + 1);
+    drop(handle);
+}
+
+pub fn scopes_ad_hoc_workers(data: &mut [f32]) {
+    thread::scope(|s| {
+        for chunk in data.chunks_mut(8) {
+            s.spawn(move || chunk.iter_mut().for_each(|v| *v += 1.0));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_threads_are_exempt() {
+        let h = std::thread::spawn(|| ());
+        let _ = h.join();
+    }
+}

@@ -47,6 +47,12 @@ pub struct CommonConfig {
     /// double-buffered against the compute stage. Bit-identical results to
     /// inline sampling (see `mhg-train`); purely a throughput knob.
     pub background_sampling: bool,
+    /// Worker threads for the `mhg-par` kernel pool and sharded walk
+    /// generation; `0` (the default) inherits the process-wide setting
+    /// (`MHG_THREADS` env, else available parallelism). Like
+    /// `background_sampling`, purely a throughput knob: results are
+    /// bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for CommonConfig {
@@ -62,6 +68,7 @@ impl Default for CommonConfig {
             lr: 0.025,
             patience: 5,
             background_sampling: true,
+            threads: 0,
         }
     }
 }
@@ -80,6 +87,7 @@ impl CommonConfig {
             lr: 0.05,
             patience: 3,
             background_sampling: true,
+            threads: 0,
         }
     }
 
@@ -89,6 +97,7 @@ impl CommonConfig {
             epochs: self.epochs,
             patience: self.patience,
             background: self.background_sampling,
+            threads: self.threads,
         }
     }
 }

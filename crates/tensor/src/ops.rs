@@ -5,6 +5,12 @@
 //! (hidden dims 2–512, batch 2048), so a cache-friendly `ikj` loop with the
 //! inner loop auto-vectorised by LLVM is more than adequate and keeps the
 //! build hermetic.
+//!
+//! The hot kernels (matmul, transpose, elementwise, softmax, gather/scatter)
+//! run on the `mhg-par` worker pool. Each kernel partitions its *output* into
+//! fixed per-worker row ranges, and each worker computes its rows exactly as
+//! the serial loop would — so results are bit-identical for any `MHG_THREADS`
+//! (see DESIGN.md §2.10 for the contract).
 
 use crate::Tensor;
 
@@ -45,22 +51,25 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
         let mut out = Tensor::zeros(m, n);
+        if out.is_empty() || k == 0 {
+            return guard(out, "matmul");
+        }
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let c = out.as_mut_slice();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (c_v, b_v) in c_row.iter_mut().zip(b_row) {
-                    *c_v += a_ik * b_v;
+        // Branch-free inner loop: a zero-skip test here would block LLVM
+        // from vectorising the fused multiply-add over the output row.
+        mhg_par::par_chunks_mut(out.as_mut_slice(), n, 2 * k * n, |i0, chunk| {
+            for (ii, c_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = i0 + ii;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (kk, &a_ik) in a_row.iter().enumerate() {
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (c_v, b_v) in c_row.iter_mut().zip(b_row) {
+                        *c_v += a_ik * b_v;
+                    }
                 }
             }
-        }
+        });
         guard(out, "matmul")
     }
 
@@ -79,30 +88,61 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows(), self.cols(), rhs.rows());
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, out_v) in out_row.iter_mut().enumerate().take(n) {
-                let b_row = &rhs.as_slice()[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (a_v, b_v) in a_row.iter().zip(b_row) {
-                    acc += a_v * b_v;
-                }
-                *out_v = acc;
-            }
+        if out.is_empty() {
+            return guard(out, "matmul_transposed");
         }
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        mhg_par::par_chunks_mut(out.as_mut_slice(), n, 2 * k * n, |i0, chunk| {
+            for (ii, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = i0 + ii;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (j, out_v) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (a_v, b_v) in a_row.iter().zip(b_row) {
+                        acc += a_v * b_v;
+                    }
+                    *out_v = acc;
+                }
+            }
+        });
         guard(out, "matmul_transposed")
     }
 
     /// Returns the transposed tensor.
+    ///
+    /// Cache-blocked in 32×32 tiles so both the source reads and the
+    /// destination writes stay within a few cache lines per tile, instead of
+    /// striding the whole source column by column.
     pub fn transpose(&self) -> Tensor {
+        const TILE: usize = 32;
         let (m, n) = (self.rows(), self.cols());
         let mut out = Tensor::zeros(n, m);
-        for i in 0..m {
-            for j in 0..n {
-                out[(j, i)] = self[(i, j)];
-            }
+        if out.is_empty() {
+            return guard(out, "transpose");
         }
+        let src = self.as_slice();
+        // Output rows (length m) are the parallel unit; tiles start at the
+        // absolute row index so the tiling is identical for any partition.
+        mhg_par::par_chunks_mut(out.as_mut_slice(), m, 2 * m, |j0, chunk| {
+            let j_end = j0 + chunk.len() / m;
+            let mut bj = j0;
+            while bj < j_end {
+                let j_hi = (bj + TILE).min(j_end);
+                let mut bi = 0;
+                while bi < m {
+                    let i_hi = (bi + TILE).min(m);
+                    for j in bj..j_hi {
+                        for i in bi..i_hi {
+                            chunk[(j - j0) * m + i] = src[i * n + j];
+                        }
+                    }
+                    bi += TILE;
+                }
+                bj += TILE;
+            }
+        });
         guard(out, "transpose")
     }
 
@@ -111,21 +151,28 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn zip_map(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_map(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
-        let data = self
-            .as_slice()
-            .iter()
-            .zip(rhs.as_slice())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        guard(Tensor::from_vec(self.rows(), self.cols(), data), "zip_map")
+        let mut out = Tensor::zeros(self.rows(), self.cols());
+        let (a, b) = (self.as_slice(), rhs.as_slice());
+        mhg_par::par_chunks_mut(out.as_mut_slice(), 1, 4, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(a[start + i], b[start + i]);
+            }
+        });
+        guard(out, "zip_map")
     }
 
     /// Elementwise unary op into a fresh tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.as_slice().iter().map(|&a| f(a)).collect();
-        guard(Tensor::from_vec(self.rows(), self.cols(), data), "map")
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = Tensor::zeros(self.rows(), self.cols());
+        let a = self.as_slice();
+        mhg_par::par_chunks_mut(out.as_mut_slice(), 1, 4, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(a[start + i]);
+            }
+        });
+        guard(out, "map")
     }
 
     /// Elementwise sum.
@@ -232,19 +279,24 @@ impl Tensor {
     /// Numerically-stable row-wise softmax.
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+        let cols = out.cols();
+        if out.is_empty() {
+            return guard(out, "softmax_rows");
         }
+        mhg_par::par_chunks_mut(out.as_mut_slice(), cols, 4 * cols, |_r0, chunk| {
+            for row in chunk.chunks_exact_mut(cols) {
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                let inv = 1.0 / sum;
+                for v in row.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        });
         guard(out, "softmax_rows")
     }
 
@@ -276,16 +328,80 @@ impl Tensor {
     ///
     /// Panics if an index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
-        let mut out = Tensor::zeros(indices.len(), self.cols());
-        for (r, &idx) in indices.iter().enumerate() {
+        let (rows, cols) = (self.rows(), self.cols());
+        for &idx in indices {
             assert!(
-                idx < self.rows(),
-                "gather_rows index {idx} out of bounds for {} rows",
-                self.rows()
+                idx < rows,
+                "gather_rows index {idx} out of bounds for {rows} rows"
             );
-            out.set_row(r, self.row(idx));
         }
+        let mut out = Tensor::zeros(indices.len(), cols);
+        if out.is_empty() {
+            return guard(out, "gather_rows");
+        }
+        let src = self.as_slice();
+        mhg_par::par_chunks_mut(out.as_mut_slice(), cols, cols, |r0, chunk| {
+            for (i, dst) in chunk.chunks_exact_mut(cols).enumerate() {
+                let idx = indices[r0 + i];
+                dst.copy_from_slice(&src[idx * cols..(idx + 1) * cols]);
+            }
+        });
         guard(out, "gather_rows")
+    }
+
+    /// Scatter-add: `self[indices[r], :] += src[r, :]` for every source row
+    /// `r`, the adjoint of [`Tensor::gather_rows`].
+    ///
+    /// Deterministic for any worker count: workers own disjoint *destination*
+    /// row ranges and each scans the contributions in input order, so every
+    /// destination row accumulates in exactly the serial order no matter how
+    /// the ranges are split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len() != src.rows()`, widths differ, or an index
+    /// is out of bounds.
+    pub fn scatter_add_rows(&mut self, indices: &[u32], src: &Tensor) {
+        assert_eq!(
+            indices.len(),
+            src.rows(),
+            "scatter_add_rows: {} indices for {} source rows",
+            indices.len(),
+            src.rows()
+        );
+        assert_eq!(
+            self.cols(),
+            src.cols(),
+            "scatter_add_rows width mismatch: {} vs {}",
+            self.cols(),
+            src.cols()
+        );
+        let (rows, cols) = (self.rows(), self.cols());
+        for &idx in indices {
+            assert!(
+                (idx as usize) < rows,
+                "scatter_add_rows index {idx} out of bounds for {rows} rows"
+            );
+        }
+        if self.is_empty() || indices.is_empty() {
+            return;
+        }
+        let s = src.as_slice();
+        let per_row = (indices.len() / rows + 1) * cols;
+        mhg_par::par_chunks_mut(self.as_mut_slice(), cols, per_row, |first, chunk| {
+            let range = first..first + chunk.len() / cols;
+            for (r, &idx) in indices.iter().enumerate() {
+                let idx = idx as usize;
+                if range.contains(&idx) {
+                    let dst = &mut chunk[(idx - first) * cols..(idx - first + 1) * cols];
+                    for (d, v) in dst.iter_mut().zip(&s[r * cols..(r + 1) * cols]) {
+                        *d += v;
+                    }
+                }
+            }
+        });
+        #[cfg(feature = "checked")]
+        self.assert_finite("scatter_add_rows");
     }
 }
 
@@ -424,6 +540,24 @@ mod tests {
         assert_eq!(s.row(2), &[5.0, 6.0]);
         let g = s.gather_rows(&[2, 0]);
         assert_eq!(g, Tensor::from_rows(&[&[5.0, 6.0], &[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn scatter_add_is_gather_adjoint() {
+        let mut table = Tensor::zeros(4, 2);
+        let src = Tensor::from_rows(&[&[1.0, 2.0], &[10.0, 20.0], &[0.5, 0.5]]);
+        table.scatter_add_rows(&[3, 1, 3], &src);
+        assert_eq!(table.row(0), &[0.0, 0.0]);
+        assert_eq!(table.row(1), &[10.0, 20.0]);
+        assert_eq!(table.row(3), &[1.5, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter_add_rows index")]
+    fn scatter_add_rejects_out_of_bounds() {
+        let mut table = Tensor::zeros(2, 2);
+        let src = Tensor::zeros(1, 2);
+        table.scatter_add_rows(&[2], &src);
     }
 
     #[test]

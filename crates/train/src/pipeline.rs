@@ -18,6 +18,11 @@ pub struct TrainOptions {
     /// Run the sampling recipe on a background worker thread, double-
     /// buffered against the step stage. Bit-identical to inline sampling.
     pub background: bool,
+    /// Worker threads for the `mhg-par` kernel pool and sharded walk
+    /// generation during this run; `0` inherits the process-wide setting
+    /// (`MHG_THREADS` env, else available parallelism). Bit-identical for
+    /// any value by the pool's determinism contract.
+    pub threads: usize,
 }
 
 /// Loss contribution of one minibatch step.
@@ -67,10 +72,8 @@ pub trait TrainStep {
 /// training progress — which is what lets the background worker run one
 /// epoch ahead of the step stage without changing any result.
 pub fn epoch_seed(base: u64, epoch: u64) -> u64 {
-    let mut z = base ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    // Same mixer as the per-shard walk seeds; see mhg_sampling::derive_seed.
+    mhg_sampling::derive_seed(base, epoch)
 }
 
 fn ms_since(start: Instant) -> f64 {
@@ -91,6 +94,8 @@ where
     T: TrainStep,
     S: Fn(usize, &mut StdRng) -> Vec<T::Batch> + Sync,
 {
+    // Size the kernel/walk worker pool for the whole run (0 = inherit).
+    let _pool = mhg_par::scoped_threads(opts.threads);
     let base: u64 = rng.gen();
     let mut report = TrainReport::default();
     let mut stopper = EarlyStopper::new(opts.patience);
@@ -240,6 +245,7 @@ mod tests {
             epochs,
             patience: 2,
             background,
+            threads: 0,
         };
         let mut step = CountingStep::new(peak);
         let mut rng = StdRng::seed_from_u64(7);

@@ -12,6 +12,8 @@
 //! * [`model`] — HybridGNN itself.
 //! * [`eval`] — ROC-AUC / PR-AUC / F1 / PR@K / HR@K and the t-test.
 //! * [`tensor`] / [`autograd`] — the numeric substrate.
+//! * [`par`] — the deterministic worker pool behind the kernels
+//!   (`MHG_THREADS`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -21,5 +23,6 @@ pub use mhg_datasets as datasets;
 pub use mhg_eval as eval;
 pub use mhg_graph as graph;
 pub use mhg_models as models;
+pub use mhg_par as par;
 pub use mhg_sampling as sampling;
 pub use mhg_tensor as tensor;
