@@ -36,6 +36,22 @@ impl Sgd {
         assert!(lr > 0.0, "learning rate must be positive");
         Self { lr }
     }
+
+    /// Serialises the optimizer state (just the learning rate — SGD keeps
+    /// no moments) into `dict` under `prefix`.
+    pub fn export_state(&self, prefix: &str, dict: &mut mhg_ckpt::StateDict) {
+        dict.put_u64(format!("{prefix}/lr"), u64::from(self.lr.to_bits()));
+    }
+
+    /// Restores state exported by [`Sgd::export_state`].
+    pub fn import_state(
+        &mut self,
+        prefix: &str,
+        dict: &mhg_ckpt::StateDict,
+    ) -> Result<(), mhg_ckpt::CkptError> {
+        self.lr = f32::from_bits(dict.u64(&format!("{prefix}/lr"))? as u32);
+        Ok(())
+    }
 }
 
 impl Optimizer for Sgd {
@@ -109,6 +125,64 @@ impl Adam {
             row_steps: vec![0; shape.0],
             step: 0,
         })
+    }
+
+    /// Serialises every per-parameter moment estimate into `dict` under
+    /// `prefix` (ids sorted, so the encoding is deterministic).
+    pub fn export_state(&self, prefix: &str, dict: &mut mhg_ckpt::StateDict) {
+        let mut ids: Vec<u32> = self.states.keys().map(|id| id.0).collect();
+        ids.sort_unstable();
+        dict.put_u64s(
+            format!("{prefix}/ids"),
+            ids.iter().map(|&i| u64::from(i)).collect(),
+        );
+        for raw in ids {
+            let state = &self.states[&ParamId(raw)];
+            dict.put_tensor(format!("{prefix}/{raw}/m"), state.m.clone());
+            dict.put_tensor(format!("{prefix}/{raw}/v"), state.v.clone());
+            dict.put_u64s(
+                format!("{prefix}/{raw}/rows"),
+                state.row_steps.iter().map(|&s| u64::from(s)).collect(),
+            );
+            dict.put_u64(format!("{prefix}/{raw}/step"), u64::from(state.step));
+        }
+    }
+
+    /// Restores the moment estimates exported by [`Adam::export_state`],
+    /// replacing any current state.
+    pub fn import_state(
+        &mut self,
+        prefix: &str,
+        dict: &mhg_ckpt::StateDict,
+    ) -> Result<(), mhg_ckpt::CkptError> {
+        let ids = dict.u64s(&format!("{prefix}/ids"))?.to_vec();
+        let mut states = HashMap::new();
+        for raw64 in ids {
+            let raw = u32::try_from(raw64).map_err(|_| {
+                mhg_ckpt::CkptError::WrongType(format!("{prefix}/ids entry {raw64}"))
+            })?;
+            let m = dict.tensor(&format!("{prefix}/{raw}/m"))?.clone();
+            let v = dict.tensor(&format!("{prefix}/{raw}/v"))?.clone();
+            let rows = dict.u64s(&format!("{prefix}/{raw}/rows"))?;
+            if v.rows() != m.rows() || v.cols() != m.cols() || rows.len() != m.rows() {
+                return Err(mhg_ckpt::CkptError::ShapeMismatch(format!(
+                    "adam state for parameter {raw}"
+                )));
+            }
+            let row_steps = rows.iter().map(|&s| s as u32).collect();
+            let step = dict.u64(&format!("{prefix}/{raw}/step"))? as u32;
+            states.insert(
+                ParamId(raw),
+                AdamState {
+                    m,
+                    v,
+                    row_steps,
+                    step,
+                },
+            );
+        }
+        self.states = states;
+        Ok(())
     }
 }
 

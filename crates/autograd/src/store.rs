@@ -83,6 +83,50 @@ impl ParamStore {
     pub fn num_scalars(&self) -> usize {
         self.values.iter().map(Tensor::len).sum()
     }
+
+    /// Serialises every parameter tensor into `dict` under
+    /// `"<prefix>/<index>"` (plus a `"<prefix>/n"` count), for
+    /// checkpointing. Registration order is the identity of a parameter, so
+    /// indices — not names — key the entries.
+    pub fn export_state(&self, prefix: &str, dict: &mut mhg_ckpt::StateDict) {
+        dict.put_u64(format!("{prefix}/n"), self.len() as u64);
+        for (id, _name, value) in self.iter() {
+            dict.put_tensor(format!("{prefix}/{}", id.index()), value.clone());
+        }
+    }
+
+    /// Restores parameter values exported by [`ParamStore::export_state`]
+    /// into an already-registered store. The checkpoint must describe the
+    /// same architecture: same parameter count, same shapes.
+    pub fn import_state(
+        &mut self,
+        prefix: &str,
+        dict: &mhg_ckpt::StateDict,
+    ) -> Result<(), mhg_ckpt::CkptError> {
+        let n = dict.u64(&format!("{prefix}/n"))? as usize;
+        if n != self.len() {
+            return Err(mhg_ckpt::CkptError::ShapeMismatch(format!(
+                "store has {} parameters, checkpoint has {n}",
+                self.len()
+            )));
+        }
+        for i in 0..n {
+            let src = dict.tensor(&format!("{prefix}/{i}"))?;
+            let dst = &mut self.values[i];
+            if src.rows() != dst.rows() || src.cols() != dst.cols() {
+                return Err(mhg_ckpt::CkptError::ShapeMismatch(format!(
+                    "parameter `{}` is {}x{}, checkpoint entry is {}x{}",
+                    self.names[i],
+                    dst.rows(),
+                    dst.cols(),
+                    src.rows(),
+                    src.cols()
+                )));
+            }
+            *dst = src.clone();
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Debug for ParamStore {

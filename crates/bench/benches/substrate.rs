@@ -151,7 +151,7 @@ fn bench_sampling(c: &mut Criterion) {
         .copied()
         .find(|&v| graph.degree(v, mhg_graph::RelationId(0)) > 0)
         .unwrap();
-    let mwalker = MetapathWalker::new(&graph, scheme.clone());
+    let mwalker = MetapathWalker::new(&graph, scheme.clone()).unwrap();
     c.bench_function("sampling/metapath_walk_10", |bench| {
         bench.iter(|| black_box(mwalker.walk(mstart, 10, &mut rng)))
     });

@@ -31,7 +31,7 @@ fn fit<M: LinkPredictor>(mut model: M, dataset: &Dataset, split: &EdgeSplit) -> 
         metapath_shapes: &dataset.metapath_shapes,
         val: &split.val,
     };
-    model.fit(&data, &mut rng);
+    model.fit(&data, &mut rng).expect("fit must succeed");
     model
 }
 

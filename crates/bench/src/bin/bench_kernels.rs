@@ -115,7 +115,7 @@ fn epoch_secs(scale: f64, threads: usize) -> f64 {
             val: &split.val,
         };
         let start = Instant::now();
-        let report = model.fit(&data, &mut rng);
+        let report = model.fit(&data, &mut rng).expect("fit must succeed");
         assert!(report.epochs_run > 0, "epoch benchmark ran zero epochs");
         start.elapsed().as_secs_f64()
     })
@@ -287,6 +287,6 @@ fn main() {
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
-    std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
+    mhg_ckpt::atomic_write(&out_path, json.as_bytes()).expect("write BENCH_kernels.json");
     eprintln!("wrote {}", out_path.display());
 }

@@ -56,7 +56,7 @@ fn sweep(
             let mut hybrid_cfg = cfg.hybrid();
             apply(&mut hybrid_cfg, v);
             let mut model = HybridGnn::new(hybrid_cfg);
-            let m = run_model(&mut model, &dataset, &split, cfg, 0);
+            let m = run_model(&mut model, &dataset, &split, cfg, 0).expect("fit must succeed");
             print!(" {:>9.2}", m.roc_auc);
         }
         println!();

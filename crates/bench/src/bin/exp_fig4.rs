@@ -27,7 +27,7 @@ fn main() {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        model.fit(&data, &mut rng);
+        model.fit(&data, &mut rng).expect("fit must succeed");
 
         println!("\n== {} ==", kind.name());
         for (ri, rows) in model.attention_profile().iter().enumerate() {

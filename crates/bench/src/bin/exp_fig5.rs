@@ -33,7 +33,7 @@ fn main() {
         metapath_shapes: &dataset.metapath_shapes,
         val: &split.val,
     };
-    model.fit(&data, &mut rng);
+    model.fit(&data, &mut rng).expect("fit must succeed");
 
     let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0x99bb);
     let queries = ranking_queries(

@@ -31,7 +31,7 @@ fn main() {
             let mut hybrid_cfg = cfg.hybrid();
             hybrid_cfg.exploration_depth = depth;
             let mut model = HybridGnn::new(hybrid_cfg);
-            let m = run_model(&mut model, &dataset, &split, &cfg, 0);
+            let m = run_model(&mut model, &dataset, &split, &cfg, 0).expect("fit must succeed");
             print!(" {:>7.2}/{:>7.2}", m.roc_auc, m.f1);
         }
         println!();

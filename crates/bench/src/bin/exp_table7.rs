@@ -70,7 +70,7 @@ fn main() {
         ];
         for model in &mut models {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x77aa ^ keep as u64);
-            model.fit(&data, &mut rng);
+            model.fit(&data, &mut rng).expect("fit must succeed");
             aucs.push(evaluate(model.as_ref(), &test_r0).roc_auc * 100.0);
         }
 

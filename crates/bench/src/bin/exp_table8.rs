@@ -50,7 +50,7 @@ fn main() {
         for &kind in &datasets {
             let (dataset, split) = prepare(kind, &cfg, 0);
             let mut model = HybridGnn::new(make(cfg.hybrid()));
-            let m = run_model(&mut model, &dataset, &split, &cfg, 0);
+            let m = run_model(&mut model, &dataset, &split, &cfg, 0).expect("fit must succeed");
             print!(" {:>9.2}", m.f1);
         }
         println!();

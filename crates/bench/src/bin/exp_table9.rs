@@ -43,7 +43,7 @@ fn main() {
 
     for model in &mut models {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x77aa);
-        model.fit(&data, &mut rng);
+        model.fit(&data, &mut rng).expect("fit must succeed");
         let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0x99bb);
         let queries = ranking_queries(
             model.as_ref(),

@@ -5,12 +5,14 @@
 //! train-and-evaluate pipeline, and table formatting. See `DESIGN.md` §3
 //! for the experiment index.
 
+use std::path::{Path, PathBuf};
+
 use hybridgnn::{HybridConfig, HybridGnn};
 use mhg_datasets::{Dataset, DatasetKind, EdgeSplit};
 use mhg_eval::{topk_metrics, TopKMetrics};
 use mhg_models::{
     evaluate, ranking_queries, CommonConfig, DeepWalk, FitData, Gatne, Gcn, GraphSage, Han, Line,
-    LinkPredictor, Magnn, ModelMetrics, Node2Vec, RGcn,
+    LinkPredictor, Magnn, ModelMetrics, Node2Vec, RGcn, TrainError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,7 +36,7 @@ pub const MODEL_NAMES: [&str; 10] = [
 ///
 /// Flags: `--scale <f64>`, `--seed <u64>`, `--epochs <usize>`,
 /// `--dim <usize>`, `--runs <usize>`, `--k <usize>`, `--datasets a,b,c`,
-/// `--models a,b,c`.
+/// `--models a,b,c`, `--resume-dir <path>`, `--checkpoint-every <n>`.
 #[derive(Clone, Debug)]
 pub struct ExpConfig {
     /// Dataset scale relative to the paper's published sizes.
@@ -58,6 +60,17 @@ pub struct ExpConfig {
     pub datasets: Vec<DatasetKind>,
     /// Model filter, canonical [`MODEL_NAMES`] entries (empty = all ten).
     pub models: Vec<String>,
+    /// Crash-safe experiment state directory. When set, every completed
+    /// (dataset, model, run) cell persists its metrics as an atomic marker
+    /// file, training checkpoints land next to them, and a re-run with the
+    /// same directory skips finished cells and resumes the interrupted one.
+    pub resume_dir: Option<PathBuf>,
+    /// Epoch cadence for training checkpoints (0 = only on `--resume-dir`
+    /// runs, where it defaults to every epoch).
+    pub checkpoint_every: usize,
+    /// Checkpoint directory for the cell currently training. Set by
+    /// [`ExpConfig::for_cell`], not by a CLI flag.
+    pub cell_checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for ExpConfig {
@@ -73,6 +86,9 @@ impl Default for ExpConfig {
             max_queries: 150,
             datasets: Vec::new(),
             models: Vec::new(),
+            resume_dir: None,
+            checkpoint_every: 0,
+            cell_checkpoint_dir: None,
         }
     }
 }
@@ -109,6 +125,12 @@ impl ExpConfig {
                 "--k" => cfg.k = parse_usize(&value),
                 "--pool" => cfg.pool = parse_usize(&value),
                 "--max-queries" => cfg.max_queries = parse_usize(&value),
+                "--checkpoint-every" => cfg.checkpoint_every = parse_usize(&value),
+                "--resume-dir" => {
+                    cfg.resume_dir = Some(PathBuf::from(
+                        value.as_ref().expect("--resume-dir requires a path"),
+                    ));
+                }
                 "--datasets" => {
                     cfg.datasets = value
                         .as_ref()
@@ -136,7 +158,8 @@ impl ExpConfig {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale f --seed n --epochs n --dim n --runs n --k n \
-                         --pool n --max-queries n --datasets a,b,c --models a,b,c\n\
+                         --pool n --max-queries n --datasets a,b,c --models a,b,c \
+                         --resume-dir path --checkpoint-every n\n\
                          models: {}",
                         MODEL_NAMES.join(",")
                     );
@@ -168,8 +191,24 @@ impl ExpConfig {
         CommonConfig {
             dim: self.dim,
             epochs: self.epochs,
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_dir: self.cell_checkpoint_dir.clone(),
+            resume: self.cell_checkpoint_dir.is_some(),
             ..CommonConfig::default()
         }
+    }
+
+    /// A copy of this configuration pointing one experiment cell at its own
+    /// checkpoint directory under `--resume-dir` (no-op without the flag).
+    pub fn for_cell(&self, kind: DatasetKind, model: &str, run: usize) -> Self {
+        let mut cell = self.clone();
+        if let Some(dir) = &self.resume_dir {
+            cell.checkpoint_every = self.checkpoint_every.max(1);
+            // `common()` below threads these into every model's TrainOptions.
+            cell.cell_checkpoint_dir =
+                Some(dir.join(format!("ckpt-{}-{model}-run{run}", kind.name())));
+        }
+        cell
     }
 
     /// HybridGNN configuration derived from the experiment flags.
@@ -241,14 +280,14 @@ pub fn run_model(
     split: &EdgeSplit,
     cfg: &ExpConfig,
     run: usize,
-) -> FullMetrics {
+) -> Result<FullMetrics, TrainError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x77aa ^ run as u64);
     let data = FitData {
         graph: &split.train_graph,
         metapath_shapes: &dataset.metapath_shapes,
         val: &split.val,
     };
-    let report = model.fit(&data, &mut rng);
+    let report = model.fit(&data, &mut rng)?;
     assert!(
         !report.final_loss.is_nan(),
         "{}: training diverged (final loss is NaN)",
@@ -272,7 +311,47 @@ pub fn run_model(
         per.compute_ms,
         per.eval_ms
     );
-    classification_and_ranking(model, dataset, split, cfg, run)
+    Ok(classification_and_ranking(model, dataset, split, cfg, run))
+}
+
+/// Marker-file path recording that one (dataset, model, run) cell finished.
+fn cell_marker(dir: &Path, kind: DatasetKind, model: &str, run: usize) -> PathBuf {
+    dir.join(format!("done-{}-{model}-run{run}.mhgc", kind.name()))
+}
+
+/// Persists a finished cell's metrics atomically so a killed experiment can
+/// skip the cell on re-run. Errors are reported, not fatal: losing a marker
+/// only costs recomputation.
+pub fn save_cell(dir: &Path, kind: DatasetKind, model: &str, run: usize, m: &FullMetrics) {
+    let mut dict = mhg_ckpt::StateDict::new();
+    dict.put_f64("roc_auc", m.roc_auc);
+    dict.put_f64("pr_auc", m.pr_auc);
+    dict.put_f64("f1", m.f1);
+    dict.put_f64("pr_at_k", m.pr_at_k);
+    dict.put_f64("hr_at_k", m.hr_at_k);
+    let path = cell_marker(dir, kind, model, run);
+    let write = std::fs::create_dir_all(dir)
+        .and_then(|()| mhg_ckpt::atomic_write_retry(&path, &mhg_ckpt::encode(&dict), 3));
+    if let Err(e) = write {
+        eprintln!(
+            "warning: could not persist cell marker {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// Loads a previously persisted cell, if its marker exists and decodes
+/// cleanly. A corrupt or truncated marker is treated as absent.
+pub fn load_cell(dir: &Path, kind: DatasetKind, model: &str, run: usize) -> Option<FullMetrics> {
+    let bytes = mhg_ckpt::read_file(cell_marker(dir, kind, model, run)).ok()?;
+    let dict = mhg_ckpt::decode(&bytes).ok()?;
+    Some(FullMetrics {
+        roc_auc: dict.f64("roc_auc").ok()?,
+        pr_auc: dict.f64("pr_auc").ok()?,
+        f1: dict.f64("f1").ok()?,
+        pr_at_k: dict.f64("pr_at_k").ok()?,
+        hr_at_k: dict.f64("hr_at_k").ok()?,
+    })
 }
 
 /// Evaluates an already-trained model.
@@ -337,14 +416,27 @@ pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind])
 
         for run in 0..cfg.runs {
             let (dataset, split) = prepare(kind, cfg, run);
-            for (mi, model) in filtered_zoo(cfg).iter_mut().enumerate() {
+            for (mi, name) in model_names.iter().enumerate() {
+                if let Some(dir) = &cfg.resume_dir {
+                    if let Some(metrics) = load_cell(dir, kind, name, run) {
+                        eprintln!("[{kind} run {run}] {name} restored from marker");
+                        results[mi].push(metrics);
+                        continue;
+                    }
+                }
+                let cell_cfg = cfg.for_cell(kind, name, run);
+                let mut zoo = filtered_zoo(&cell_cfg);
+                let model = zoo[mi].as_mut();
                 let started = std::time::Instant::now();
-                let metrics = run_model(model.as_mut(), &dataset, &split, cfg, run);
+                let metrics = run_model(model, &dataset, &split, &cell_cfg, run)
+                    .unwrap_or_else(|e| panic!("{name} on {kind}: {e}"));
                 eprintln!(
-                    "[{kind} run {run}] {} done in {:.1?}",
-                    model.name(),
+                    "[{kind} run {run}] {name} done in {:.1?}",
                     started.elapsed()
                 );
+                if let Some(dir) = &cfg.resume_dir {
+                    save_cell(dir, kind, name, run, &metrics);
+                }
                 results[mi].push(metrics);
             }
         }
@@ -479,7 +571,7 @@ mod tests {
         };
         let (dataset, split) = prepare(DatasetKind::Amazon, &cfg, 0);
         let mut model = DeepWalk::new(cfg.common());
-        let m = run_model(&mut model, &dataset, &split, &cfg, 0);
+        let m = run_model(&mut model, &dataset, &split, &cfg, 0).expect("fit must succeed");
         assert!(m.roc_auc > 0.0 && m.roc_auc <= 100.0);
         assert!((0.0..=1.0).contains(&m.pr_at_k));
     }

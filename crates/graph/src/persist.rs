@@ -3,6 +3,13 @@
 //! A small hand-rolled codec over [`bytes`]: length-prefixed strings and
 //! little-endian arrays, with a magic header and version byte. Used by the
 //! benchmark harness to cache generated datasets between runs.
+//!
+//! Decoding is hardened against hostile input: every length prefix is
+//! validated against the bytes actually remaining before any allocation, so
+//! corrupt or truncated snapshots produce a typed [`DecodeError`] — never a
+//! panic or an attempted multi-gigabyte allocation. Writes go through
+//! [`mhg_ckpt::atomic_write`], so a crash mid-save leaves the previous
+//! snapshot intact.
 
 use std::io;
 use std::path::Path;
@@ -98,11 +105,17 @@ pub fn decode(mut buf: &[u8]) -> Result<MultiplexGraph, DecodeError> {
     }
 
     let num_nodes = get_u32(&mut buf)? as usize;
+    // Each node type costs 2 bytes; a length prefix promising more nodes
+    // than the buffer can hold is corrupt. Checking before the allocation
+    // keeps hostile prefixes from reserving gigabytes.
+    if num_nodes
+        .checked_mul(2)
+        .is_none_or(|need| need > buf.remaining())
+    {
+        return Err(DecodeError::Truncated);
+    }
     let mut node_types = Vec::with_capacity(num_nodes);
     for _ in 0..num_nodes {
-        if buf.remaining() < 2 {
-            return Err(DecodeError::Truncated);
-        }
         let t = buf.get_u16_le();
         if t as usize >= schema.num_node_types() {
             return Err(DecodeError::Truncated);
@@ -116,12 +129,24 @@ pub fn decode(mut buf: &[u8]) -> Result<MultiplexGraph, DecodeError> {
         if n_off != num_nodes + 1 {
             return Err(DecodeError::Truncated);
         }
+        if n_off
+            .checked_mul(4)
+            .is_none_or(|need| need > buf.remaining())
+        {
+            return Err(DecodeError::Truncated);
+        }
         let mut offsets = Vec::with_capacity(n_off);
         for _ in 0..n_off {
             offsets.push(get_u32(&mut buf)?);
         }
         let n_tgt = get_u32(&mut buf)? as usize;
         if offsets.last().is_none_or(|&last| last as usize != n_tgt) {
+            return Err(DecodeError::Truncated);
+        }
+        if n_tgt
+            .checked_mul(4)
+            .is_none_or(|need| need > buf.remaining())
+        {
             return Err(DecodeError::Truncated);
         }
         let mut targets = Vec::with_capacity(n_tgt);
@@ -141,9 +166,10 @@ pub fn decode(mut buf: &[u8]) -> Result<MultiplexGraph, DecodeError> {
     Ok(MultiplexGraph::from_parts(schema, node_types, adjacency))
 }
 
-/// Writes a snapshot to a file.
+/// Writes a snapshot to a file atomically (write-temp + fsync + rename):
+/// a crash mid-save never leaves a half-written snapshot at `path`.
 pub fn save(graph: &MultiplexGraph, path: impl AsRef<Path>) -> io::Result<()> {
-    std::fs::write(path, encode(graph))
+    mhg_ckpt::atomic_write(path, &encode(graph))
 }
 
 /// Reads a snapshot from a file.
@@ -165,6 +191,10 @@ fn get_str_list(buf: &mut &[u8]) -> Result<Vec<String>, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     let n = buf.get_u16_le() as usize;
+    // Every entry needs at least its 2-byte length prefix.
+    if n.checked_mul(2).is_none_or(|need| need > buf.remaining()) {
+        return Err(DecodeError::Truncated);
+    }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         if buf.remaining() < 2 {
@@ -229,6 +259,7 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
+        let _guard = mhg_faults::test_guard(); // save() has injectable IO sites
         let g = sample_graph();
         let dir = std::env::temp_dir().join("mhg_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -253,16 +284,80 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncation_anywhere() {
+    fn rejects_truncation_at_every_cut() {
         let g = sample_graph();
         let bytes = encode(&g);
-        // Chop the buffer at several points; decode must error, not panic.
-        for cut in [5, 9, 15, bytes.len() / 2, bytes.len() - 1] {
+        // Chop the buffer at EVERY point; decode must error, not panic.
+        for cut in 0..bytes.len() {
             assert!(
                 decode(&bytes[..cut]).is_err(),
                 "cut at {cut} should fail cleanly"
             );
         }
         let _ = RelationId(0); // silence unused import in cfg(test)
+    }
+
+    #[test]
+    fn survives_every_single_bit_flip() {
+        let g = sample_graph();
+        let bytes = encode(&g).to_vec();
+        // A flipped bit may still decode to a *different valid* graph
+        // (e.g. a changed node id that stays in range) — that's fine. What
+        // must never happen is a panic or a runaway allocation.
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                let _ = decode(&corrupt);
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_fail_fast_without_allocating() {
+        // A header promising u32::MAX nodes with almost no payload must be
+        // rejected before any proportional allocation happens.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u16_le(1); // 1 node type
+        buf.put_u16_le(1);
+        buf.put_slice(b"t");
+        buf.put_u16_le(1); // 1 relation
+        buf.put_u16_le(1);
+        buf.put_slice(b"r");
+        buf.put_u32_le(u32::MAX); // hostile node count
+        buf.put_u16_le(0);
+        assert!(matches!(decode(&buf), Err(DecodeError::Truncated)));
+
+        // Same for a hostile string-list count.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u16_le(u16::MAX); // hostile name count, no payload
+        assert!(matches!(decode(&buf), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn save_is_atomic_under_injected_io_faults() {
+        use mhg_faults::FaultSite;
+        let _guard = mhg_faults::test_guard();
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join("mhg_persist_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.mhg");
+        save(&g, &path).unwrap();
+
+        // With a write fault armed, the failed save must leave the previous
+        // snapshot readable.
+        mhg_faults::install(mhg_faults::FaultPlan::new().inject(FaultSite::IoWrite, 1));
+        assert!(
+            save(&g, &path).is_err(),
+            "injected write fault must surface"
+        );
+        mhg_faults::clear();
+        let g2 = load(&path).expect("previous snapshot must survive a failed save");
+        assert_eq!(g.num_edges(), g2.num_edges());
+        std::fs::remove_file(path).ok();
     }
 }

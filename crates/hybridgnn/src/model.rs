@@ -5,9 +5,10 @@
 use std::collections::HashMap;
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
+use mhg_ckpt::{CkptError, StateDict};
 use mhg_datasets::LabeledEdge;
 use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, NodeTypeId, RelationId};
-use mhg_models::{EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use mhg_models::{EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport};
 use mhg_sampling::{
     derive_seed, pairs_from_walk, sharded_over, InterRelationshipExplorer, MetapathNeighborSampler,
     MetapathWalker, NegativeSampler, Pair, UniformNeighborSampler,
@@ -428,6 +429,78 @@ impl TrainStep for HybridStep<'_> {
     fn is_fitted(&self) -> bool {
         self.scores.is_ready()
     }
+
+    fn export_state(&self, dict: &mut StateDict) {
+        self.params.export_state("model/params", dict);
+        self.opt.export_state("model/opt", dict);
+        self.scores.export_state("model/scores", dict);
+        dict.put_bytes("model/attention", encode_attention(self.attention));
+    }
+
+    fn import_state(&mut self, dict: &StateDict) -> Result<(), CkptError> {
+        self.params.import_state("model/params", dict)?;
+        self.opt.import_state("model/opt", dict)?;
+        self.scores.import_state("model/scores", dict)?;
+        *self.attention = decode_attention(dict.bytes("model/attention")?)?;
+        Ok(())
+    }
+}
+
+/// Byte layout for an [`AttentionProfile`]: all integers are u64 LE —
+/// relation count, then per relation an entry count, then per entry a
+/// label length + UTF-8 bytes + the f64 mass as raw bits.
+fn encode_attention(profile: &AttentionProfile) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(profile.len() as u64).to_le_bytes());
+    for rel in profile {
+        out.extend_from_slice(&(rel.len() as u64).to_le_bytes());
+        for (label, mass) in rel {
+            out.extend_from_slice(&(label.len() as u64).to_le_bytes());
+            out.extend_from_slice(label.as_bytes());
+            out.extend_from_slice(&mass.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_attention`]; every read is bounds-checked so
+/// corrupted payloads surface as typed errors, never panics or huge
+/// allocations.
+fn decode_attention(buf: &[u8]) -> Result<AttentionProfile, CkptError> {
+    let mut pos = 0usize;
+    let take_u64 = |pos: &mut usize| -> Result<u64, CkptError> {
+        let end = pos.checked_add(8).ok_or(CkptError::Truncated)?;
+        let bytes = buf.get(*pos..end).ok_or(CkptError::Truncated)?;
+        *pos = end;
+        let bytes: [u8; 8] = bytes.try_into().map_err(|_| CkptError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
+    };
+    let num_rel = take_u64(&mut pos)?;
+    if num_rel > buf.len() as u64 {
+        return Err(CkptError::Truncated);
+    }
+    let mut profile = Vec::with_capacity(num_rel as usize);
+    for _ in 0..num_rel {
+        let num_entries = take_u64(&mut pos)?;
+        if num_entries > buf.len() as u64 {
+            return Err(CkptError::Truncated);
+        }
+        let mut rel = Vec::with_capacity(num_entries as usize);
+        for _ in 0..num_entries {
+            let label_len =
+                usize::try_from(take_u64(&mut pos)?).map_err(|_| CkptError::Truncated)?;
+            let end = pos.checked_add(label_len).ok_or(CkptError::Truncated)?;
+            let raw = buf.get(pos..end).ok_or(CkptError::Truncated)?;
+            pos = end;
+            let label = std::str::from_utf8(raw)
+                .map_err(|_| CkptError::BadUtf8)?
+                .to_string();
+            let mass = f64::from_bits(take_u64(&mut pos)?);
+            rel.push((label, mass));
+        }
+        profile.push(rel);
+    }
+    Ok(profile)
 }
 
 impl LinkPredictor for HybridGnn {
@@ -435,7 +508,7 @@ impl LinkPredictor for HybridGnn {
         "HybridGNN"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = self.config.clone();
         let common = &cfg.common;
@@ -469,7 +542,7 @@ impl LinkPredictor for HybridGnn {
             for r in graph.schema().relations() {
                 for (shape_idx, (shape, _)) in shapes.iter().enumerate() {
                     let scheme = MetapathScheme::intra(shape.clone(), r);
-                    let walker = MetapathWalker::new(graph, scheme);
+                    let walker = MetapathWalker::new(graph, scheme)?;
                     let starts: Vec<NodeId> = graph
                         .nodes_of_type(shape[0])
                         .iter()
@@ -499,7 +572,14 @@ impl LinkPredictor for HybridGnn {
             }
             tagged.shuffle(rng);
             tagged.truncate(pair_budget);
-            pair_batches(graph, &negatives, tagged, common.negatives, BATCH, rng)
+            Ok(pair_batches(
+                graph,
+                &negatives,
+                tagged,
+                common.negatives,
+                BATCH,
+                rng,
+            ))
         };
 
         let mut step = HybridStep {

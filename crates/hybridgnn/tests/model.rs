@@ -17,7 +17,7 @@ fn fit_and_auc(cfg: HybridConfig, kind: DatasetKind, scale: f64, seed: u64) -> (
         metapath_shapes: &dataset.metapath_shapes,
         val: &split.val,
     };
-    model.fit(&data, &mut rng);
+    model.fit(&data, &mut rng).expect("fit must succeed");
     let auc = evaluate(&model, &split.test).roc_auc;
     (model, auc)
 }

@@ -27,6 +27,11 @@
 //!   the `mhg-par` pool, whose fixed-partition contract keeps results
 //!   bit-identical for any thread count; ad-hoc threads have no such
 //!   guarantee.
+//! * **raw-file-write** — no `File::create` / `fs::write` outside
+//!   `crates/ckpt`. Every persistent artifact (checkpoints, graphs, bench
+//!   results) must go through `mhg_ckpt::atomic_write`, which stages to a
+//!   temp file, fsyncs and renames — a direct write can be torn by a crash
+//!   and is invisible to the fault-injection schedule.
 //!
 //! Findings that are individually justified live in the `lint.allow` file at
 //! the workspace root; see [`parse_allowlist`] for the format. The scanner is
@@ -56,6 +61,8 @@ pub enum Rule {
     EpochLoop,
     /// Raw `std::thread` usage outside the sanctioned pool crates.
     RawThread,
+    /// Direct file write bypassing `mhg_ckpt::atomic_write`.
+    RawFileWrite,
 }
 
 impl Rule {
@@ -69,6 +76,7 @@ impl Rule {
             Rule::ShapeAssert => "shape-assert",
             Rule::EpochLoop => "epoch-loop",
             Rule::RawThread => "raw-thread",
+            Rule::RawFileWrite => "raw-file-write",
         }
     }
 }
@@ -118,6 +126,8 @@ pub struct FileClass {
     pub epoch_loop: bool,
     /// Raw-thread rule applies.
     pub raw_thread: bool,
+    /// Raw-file-write rule applies.
+    pub raw_file_write: bool,
 }
 
 /// Crates whose forward/training path must never read the wall clock.
@@ -147,6 +157,7 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
             || rel_path == "crates/tensor/src/tensor.rs",
         epoch_loop: krate != "train",
         raw_thread: krate != "par" && krate != "train",
+        raw_file_write: krate != "ckpt",
     })
 }
 
@@ -362,6 +373,16 @@ const PATTERNS: &[(Rule, &str, &str)] = &[
         "thread::scope",
         "raw scoped threads — use the deterministic `mhg_par` pool",
     ),
+    (
+        Rule::RawFileWrite,
+        "File::create",
+        "raw file write — route persistence through `mhg_ckpt::atomic_write`",
+    ),
+    (
+        Rule::RawFileWrite,
+        "fs::write",
+        "raw file write — route persistence through `mhg_ckpt::atomic_write`",
+    ),
 ];
 
 fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
@@ -373,6 +394,7 @@ fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
         Rule::ShapeAssert => class.shape_assert,
         Rule::EpochLoop => class.epoch_loop,
         Rule::RawThread => class.raw_thread,
+        Rule::RawFileWrite => class.raw_file_write,
     }
 }
 

@@ -39,6 +39,33 @@ fn panic_fixture_is_exempt_in_bin_targets() {
 }
 
 #[test]
+fn write_fixture_fires_raw_file_write_outside_ckpt() {
+    let src = include_str!("fixtures/bad_write.rs");
+    // File::create + fs::write outside tests; the #[cfg(test)] write is
+    // exempt.
+    let fired = rules_fired("crates/bench/src/bad_write.rs", src);
+    assert_eq!(
+        count(&fired, Rule::RawFileWrite),
+        2,
+        "diagnostics: {fired:?}"
+    );
+    // The ckpt crate owns the atomic writer and is exempt.
+    let in_ckpt = rules_fired("crates/ckpt/src/bad_write.rs", src);
+    assert_eq!(
+        count(&in_ckpt, Rule::RawFileWrite),
+        0,
+        "diagnostics: {in_ckpt:?}"
+    );
+    // Bin targets are NOT exempt: result writers must also be atomic.
+    let in_bin = rules_fired("crates/bench/src/bin/bad_write.rs", src);
+    assert_eq!(
+        count(&in_bin, Rule::RawFileWrite),
+        2,
+        "diagnostics: {in_bin:?}"
+    );
+}
+
+#[test]
 fn rng_fixture_fires_unseeded_rng() {
     let fired = rules_fired(
         "crates/sampling/src/bad_rng.rs",

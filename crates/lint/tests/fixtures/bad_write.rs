@@ -1,0 +1,17 @@
+//! Fixture: direct file writes that bypass the atomic persistence layer.
+
+use std::fs;
+
+pub fn torn_report(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    // A crash between create and write leaves a truncated file behind.
+    let _f = fs::File::create(path)?;
+    fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may write files directly (e.g. to corrupt a checkpoint).
+    fn corrupt(path: &std::path::Path) {
+        std::fs::write(path, b"garbage").unwrap();
+    }
+}

@@ -37,7 +37,7 @@ fn main() {
         val: &split.val,
     };
     let t0 = std::time::Instant::now();
-    let report = model.fit(&data, &mut rng);
+    let report = model.fit(&data, &mut rng).expect("fit must succeed");
     let m = evaluate(model.as_ref(), &split.test);
     println!(
         "{}: epochs {} loss {:.4} best_val {:.4} test_auc {:.4} ({:?})",

@@ -1,12 +1,18 @@
 //! The shared model interface, hyper-parameters and training utilities.
 
+use std::path::PathBuf;
+
+use mhg_ckpt::{CkptError, StateDict};
 use mhg_datasets::LabeledEdge;
 use mhg_graph::{MultiplexGraph, NodeId, NodeTypeId, RelationId};
 use mhg_tensor::Tensor;
 use mhg_train::TrainOptions;
 use rand::rngs::StdRng;
 
-pub use mhg_train::{pair_budget, EarlyStopper, StopDecision, TimingBreakdown, TrainReport};
+pub use mhg_train::{
+    pair_budget, EarlyStopper, RecoveryCounters, StopDecision, TimingBreakdown, TrainError,
+    TrainReport,
+};
 
 /// Everything a model sees during training: the **training** graph (held-out
 /// edges removed), the dataset's metapath shapes (Table II), and the
@@ -53,6 +59,16 @@ pub struct CommonConfig {
     /// `background_sampling`, purely a throughput knob: results are
     /// bit-identical for any value.
     pub threads: usize,
+    /// Checkpoint the full training state every this many epochs (`0` = no
+    /// per-epoch cadence; a final checkpoint is still written when
+    /// `checkpoint_dir` is set). See `mhg_train::TrainOptions`.
+    pub checkpoint_every: usize,
+    /// Directory for atomic, checksummed training checkpoints; `None`
+    /// disables persistence.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the latest checkpoint in `checkpoint_dir` before
+    /// training. A resumed run is bit-identical to an uninterrupted one.
+    pub resume: bool,
 }
 
 impl Default for CommonConfig {
@@ -69,6 +85,9 @@ impl Default for CommonConfig {
             patience: 5,
             background_sampling: true,
             threads: 0,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
@@ -88,6 +107,9 @@ impl CommonConfig {
             patience: 3,
             background_sampling: true,
             threads: 0,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 
@@ -98,6 +120,9 @@ impl CommonConfig {
             patience: self.patience,
             background: self.background_sampling,
             threads: self.threads,
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_dir: self.checkpoint_dir.clone(),
+            resume: self.resume,
         }
     }
 }
@@ -107,8 +132,10 @@ pub trait LinkPredictor {
     /// The model's display name (matches the paper's tables).
     fn name(&self) -> &'static str;
 
-    /// Trains on `data`, deterministically under `rng`.
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport;
+    /// Trains on `data`, deterministically under `rng`. Errors are typed:
+    /// a bad sampling configuration, an unrecoverable checkpoint failure,
+    /// or a run that stayed divergent through its rollback budget.
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError>;
 
     /// Scores the candidate edge `(u, v)` under relation `r` (higher =
     /// more likely). Must only be called after [`LinkPredictor::fit`].
@@ -170,6 +197,36 @@ impl EmbeddingScores {
         t.row(v.index())
     }
 
+    /// Serialises the committed artefact into `dict` under `prefix`. An
+    /// uninitialised artefact round-trips as uninitialised.
+    pub fn export_state(&self, prefix: &str, dict: &mut StateDict) {
+        dict.put_u64(format!("{prefix}/ntables"), self.tables.len() as u64);
+        for (i, t) in self.tables.iter().enumerate() {
+            dict.put_tensor(format!("{prefix}/table/{i}"), t.clone());
+        }
+        if let Some(c) = &self.context {
+            dict.put_tensor(format!("{prefix}/context"), c.clone());
+        }
+    }
+
+    /// Restores an artefact exported by [`EmbeddingScores::export_state`].
+    pub fn import_state(&mut self, prefix: &str, dict: &StateDict) -> Result<(), CkptError> {
+        let n = dict.u64(&format!("{prefix}/ntables"))? as usize;
+        let mut tables = Vec::new();
+        for i in 0..n {
+            tables.push(dict.tensor(&format!("{prefix}/table/{i}"))?.clone());
+        }
+        let context_key = format!("{prefix}/context");
+        let context = if dict.contains(&context_key) {
+            Some(dict.tensor(&context_key)?.clone())
+        } else {
+            None
+        };
+        self.tables = tables;
+        self.context = context;
+        Ok(())
+    }
+
     /// Dot-product score (train-consistent when a context table is set).
     pub fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
         debug_assert!(self.is_ready(), "score() before fit()");
@@ -181,6 +238,28 @@ impl EmbeddingScores {
             }
         }
     }
+}
+
+/// Fetches `name` from `dict`, requiring the stored tensor to have the
+/// same shape as `current` — the typed-error guard every model uses when
+/// restoring raw tables, so a checkpoint from a different configuration
+/// surfaces as [`CkptError::ShapeMismatch`] instead of corrupting state.
+pub(crate) fn import_tensor_like(
+    current: &Tensor,
+    name: &str,
+    dict: &StateDict,
+) -> Result<Tensor, CkptError> {
+    let stored = dict.tensor(name)?;
+    if stored.rows() != current.rows() || stored.cols() != current.cols() {
+        return Err(CkptError::ShapeMismatch(format!(
+            "{name}: checkpoint is {}x{}, model expects {}x{}",
+            stored.rows(),
+            stored.cols(),
+            current.rows(),
+            current.cols()
+        )));
+    }
+    Ok(stored.clone())
 }
 
 #[inline]

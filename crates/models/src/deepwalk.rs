@@ -11,7 +11,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::common::{CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use crate::common::{
+    CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport,
+};
 use crate::sgns::{Sgns, SgnsStep};
 
 /// Pairs per minibatch for the hand-rolled SGNS models (pure grouping: the
@@ -44,7 +46,7 @@ impl LinkPredictor for DeepWalk {
         "DeepWalk"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = &self.config;
         let walker = UniformWalker::new(graph);
@@ -73,7 +75,14 @@ impl LinkPredictor for DeepWalk {
                 out
             });
             tagged.shuffle(rng);
-            pair_batches(graph, &negatives, tagged, cfg.negatives, SGNS_BATCH, rng)
+            Ok(pair_batches(
+                graph,
+                &negatives,
+                tagged,
+                cfg.negatives,
+                SGNS_BATCH,
+                rng,
+            ))
         };
 
         let model = Sgns::new(graph.num_nodes(), cfg.dim, rng);
@@ -104,7 +113,7 @@ mod tests {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        let report = model.fit(&data, &mut rng);
+        let report = model.fit(&data, &mut rng).expect("fit must succeed");
         assert!(report.epochs_run >= 1);
         let metrics = evaluate(&model, &split.test);
         assert!(

@@ -131,8 +131,12 @@ mod tests {
         fn name(&self) -> &'static str {
             "Oracle"
         }
-        fn fit(&mut self, _: &crate::FitData<'_>, _: &mut StdRng) -> crate::TrainReport {
-            crate::TrainReport::default()
+        fn fit(
+            &mut self,
+            _: &crate::FitData<'_>,
+            _: &mut StdRng,
+        ) -> Result<crate::TrainReport, crate::TrainError> {
+            Ok(crate::TrainReport::default())
         }
         fn score(&self, u: NodeId, v: NodeId, _: RelationId) -> f32 {
             -((u.0 as f32) - (v.0 as f32)).abs()

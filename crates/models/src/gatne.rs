@@ -23,7 +23,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::common::{CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use crate::common::{
+    CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport,
+};
 
 const NEIGHBOR_FAN: usize = 6;
 const BATCH: usize = 64;
@@ -291,6 +293,18 @@ impl TrainStep for GatneStep<'_> {
     fn is_fitted(&self) -> bool {
         self.scores.is_ready()
     }
+
+    fn export_state(&self, dict: &mut mhg_ckpt::StateDict) {
+        self.params.export_state("model/params", dict);
+        self.opt.export_state("model/opt", dict);
+        self.scores.export_state("model/scores", dict);
+    }
+
+    fn import_state(&mut self, dict: &mhg_ckpt::StateDict) -> Result<(), mhg_ckpt::CkptError> {
+        self.params.import_state("model/params", dict)?;
+        self.opt.import_state("model/opt", dict)?;
+        self.scores.import_state("model/scores", dict)
+    }
 }
 
 impl LinkPredictor for Gatne {
@@ -298,7 +312,7 @@ impl LinkPredictor for Gatne {
         "GATNE"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = &self.config;
         let (params, p) = Self::init_params(graph, cfg.dim, cfg.edge_dim, rng);
@@ -324,7 +338,14 @@ impl LinkPredictor for Gatne {
             }
             tagged.shuffle(rng);
             tagged.truncate(pair_budget);
-            pair_batches(graph, &negatives, tagged, cfg.negatives, BATCH, rng)
+            Ok(pair_batches(
+                graph,
+                &negatives,
+                tagged,
+                cfg.negatives,
+                BATCH,
+                rng,
+            ))
         };
 
         let mut step = GatneStep {
@@ -380,7 +401,7 @@ mod tests {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        model.fit(&data, &mut rng);
+        model.fit(&data, &mut rng).expect("fit must succeed");
         let metrics = evaluate(&model, &split.test);
         assert!(
             metrics.roc_auc > 0.55,

@@ -16,7 +16,9 @@ use mhg_train::{edge_batches, BatchLoss, EdgeBatch, TrainStep};
 use rand::rngs::StdRng;
 
 use crate::agg::mean_self_neighbors;
-use crate::common::{val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use crate::common::{
+    val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport,
+};
 
 const FAN_OUT: usize = 10;
 const BATCH: usize = 256;
@@ -109,6 +111,18 @@ impl TrainStep for GcnStep<'_> {
     fn is_fitted(&self) -> bool {
         self.scores.is_ready()
     }
+
+    fn export_state(&self, dict: &mut mhg_ckpt::StateDict) {
+        self.params.export_state("model/params", dict);
+        self.opt.export_state("model/opt", dict);
+        self.scores.export_state("model/scores", dict);
+    }
+
+    fn import_state(&mut self, dict: &mhg_ckpt::StateDict) -> Result<(), mhg_ckpt::CkptError> {
+        self.params.import_state("model/params", dict)?;
+        self.opt.import_state("model/opt", dict)?;
+        self.scores.import_state("model/scores", dict)
+    }
 }
 
 impl LinkPredictor for Gcn {
@@ -116,7 +130,7 @@ impl LinkPredictor for Gcn {
         "GCN"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = &self.config;
         let dim = cfg.dim;
@@ -139,7 +153,14 @@ impl LinkPredictor for Gcn {
             .collect();
 
         let sample = |_epoch: usize, rng: &mut StdRng| {
-            edge_batches(graph, &negatives, &edges, cfg.negatives, BATCH, rng)
+            Ok(edge_batches(
+                graph,
+                &negatives,
+                &edges,
+                cfg.negatives,
+                BATCH,
+                rng,
+            ))
         };
 
         let mut step = GcnStep {
@@ -178,7 +199,7 @@ mod tests {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        let report = model.fit(&data, &mut rng);
+        let report = model.fit(&data, &mut rng).expect("fit must succeed");
         assert!(report.epochs_run >= 1);
         let metrics = evaluate(&model, &split.test);
         assert!(

@@ -16,7 +16,9 @@ use mhg_train::{edge_batches, BatchLoss, EdgeBatch, TrainStep};
 use rand::rngs::StdRng;
 
 use crate::agg::{mean_self_neighbors, sample_merged_neighbors};
-use crate::common::{val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use crate::common::{
+    val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport,
+};
 
 const FAN_OUT_1: usize = 6;
 const FAN_OUT_2: usize = 4;
@@ -163,6 +165,18 @@ impl TrainStep for SageStep<'_> {
     fn is_fitted(&self) -> bool {
         self.scores.is_ready()
     }
+
+    fn export_state(&self, dict: &mut mhg_ckpt::StateDict) {
+        self.params.export_state("model/params", dict);
+        self.opt.export_state("model/opt", dict);
+        self.scores.export_state("model/scores", dict);
+    }
+
+    fn import_state(&mut self, dict: &mhg_ckpt::StateDict) -> Result<(), mhg_ckpt::CkptError> {
+        self.params.import_state("model/params", dict)?;
+        self.opt.import_state("model/opt", dict)?;
+        self.scores.import_state("model/scores", dict)
+    }
 }
 
 impl LinkPredictor for GraphSage {
@@ -170,7 +184,7 @@ impl LinkPredictor for GraphSage {
         "GraphSage"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = &self.config;
         let dim = cfg.dim;
@@ -198,7 +212,14 @@ impl LinkPredictor for GraphSage {
             .collect();
 
         let sample = |_epoch: usize, rng: &mut StdRng| {
-            edge_batches(graph, &negatives, &edges, cfg.negatives.min(2), BATCH, rng)
+            Ok(edge_batches(
+                graph,
+                &negatives,
+                &edges,
+                cfg.negatives.min(2),
+                BATCH,
+                rng,
+            ))
         };
 
         let mut step = SageStep {
@@ -238,7 +259,7 @@ mod tests {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        model.fit(&data, &mut rng);
+        model.fit(&data, &mut rng).expect("fit must succeed");
         let metrics = evaluate(&model, &split.test);
         assert!(
             metrics.roc_auc > 0.58,

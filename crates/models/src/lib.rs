@@ -30,7 +30,7 @@ mod sgns;
 
 pub use common::{
     pair_budget, val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor,
-    StopDecision, TimingBreakdown, TrainReport,
+    RecoveryCounters, StopDecision, TimingBreakdown, TrainError, TrainReport,
 };
 pub use deepwalk::DeepWalk;
 pub use evaluate::{evaluate, ranking_queries, ModelMetrics};

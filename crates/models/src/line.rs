@@ -14,7 +14,10 @@ use mhg_train::{BatchLoss, TrainStep};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::common::{val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use crate::common::{
+    import_tensor_like, val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainError,
+    TrainReport,
+};
 use crate::sgns::Sgns;
 
 /// Samples per LINE minibatch (pure grouping; the update is per-sample).
@@ -70,6 +73,18 @@ impl TrainStep for LineStep<'_> {
     fn is_fitted(&self) -> bool {
         self.scores.is_ready()
     }
+
+    fn export_state(&self, dict: &mut mhg_ckpt::StateDict) {
+        dict.put_tensor("model/first", self.first.clone());
+        self.second.export_state("model/second", dict);
+        self.scores.export_state("model/scores", dict);
+    }
+
+    fn import_state(&mut self, dict: &mhg_ckpt::StateDict) -> Result<(), mhg_ckpt::CkptError> {
+        self.first = import_tensor_like(&self.first, "model/first", dict)?;
+        self.second.import_state("model/second", dict)?;
+        self.scores.import_state("model/scores", dict)
+    }
 }
 
 /// The LINE baseline (first + second order proximity).
@@ -93,7 +108,7 @@ impl LinkPredictor for Line {
         "LINE"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = &self.config;
         let half = (cfg.dim / 2).max(4);
@@ -113,7 +128,7 @@ impl LinkPredictor for Line {
             .collect();
         if edges.is_empty() {
             self.scores = EmbeddingScores::shared(Tensor::zeros(graph.num_nodes(), 2 * half));
-            return TrainReport::default();
+            return Ok(TrainReport::default());
         }
 
         // Full edge-sampling protocol (wall-clock-normalised budget; see
@@ -141,7 +156,7 @@ impl LinkPredictor for Line {
             if !current.is_empty() {
                 batches.push(current);
             }
-            batches
+            Ok(batches)
         };
 
         let mut step = LineStep {
@@ -233,7 +248,7 @@ mod tests {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        model.fit(&data, &mut rng);
+        model.fit(&data, &mut rng).expect("fit must succeed");
         let metrics = evaluate(&model, &split.test);
         assert!(
             metrics.roc_auc > 0.6,

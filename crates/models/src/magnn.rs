@@ -18,7 +18,9 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::attention::{dot_attention_pool, semantic_attention};
-use crate::common::{val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use crate::common::{
+    val_auc, CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport,
+};
 
 const INSTANCES_PER_SCHEME: usize = 5;
 const BATCH: usize = 96;
@@ -227,6 +229,18 @@ impl TrainStep for MagnnStep<'_> {
     fn is_fitted(&self) -> bool {
         self.scores.is_ready()
     }
+
+    fn export_state(&self, dict: &mut mhg_ckpt::StateDict) {
+        self.params.export_state("model/params", dict);
+        self.opt.export_state("model/opt", dict);
+        self.scores.export_state("model/scores", dict);
+    }
+
+    fn import_state(&mut self, dict: &mhg_ckpt::StateDict) -> Result<(), mhg_ckpt::CkptError> {
+        self.params.import_state("model/params", dict)?;
+        self.opt.import_state("model/opt", dict)?;
+        self.scores.import_state("model/scores", dict)
+    }
 }
 
 impl LinkPredictor for Magnn {
@@ -234,7 +248,7 @@ impl LinkPredictor for Magnn {
         "MAGNN"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = &self.config;
         let dim = cfg.dim;
@@ -271,7 +285,14 @@ impl LinkPredictor for Magnn {
             .collect();
 
         let sample = |_epoch: usize, rng: &mut StdRng| {
-            edge_batches(graph, &negatives, &edges, cfg.negatives.min(2), BATCH, rng)
+            Ok(edge_batches(
+                graph,
+                &negatives,
+                &edges,
+                cfg.negatives.min(2),
+                BATCH,
+                rng,
+            ))
         };
 
         let mut step = MagnnStep {
@@ -335,7 +356,7 @@ mod tests {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        model.fit(&data, &mut rng);
+        model.fit(&data, &mut rng).expect("fit must succeed");
         let metrics = evaluate(&model, &split.test);
         assert!(
             metrics.roc_auc > 0.55,

@@ -9,7 +9,9 @@ use mhg_train::pair_batches;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use crate::common::{CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainReport};
+use crate::common::{
+    CommonConfig, EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport,
+};
 use crate::deepwalk::SGNS_BATCH;
 use crate::sgns::{Sgns, SgnsStep};
 
@@ -44,7 +46,7 @@ impl LinkPredictor for Node2Vec {
         "node2vec"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = &self.config;
         let walker = Node2VecWalker::new(graph, self.p, self.q);
@@ -68,7 +70,14 @@ impl LinkPredictor for Node2Vec {
                 }
             }
             tagged.shuffle(rng);
-            pair_batches(graph, &negatives, tagged, cfg.negatives, SGNS_BATCH, rng)
+            Ok(pair_batches(
+                graph,
+                &negatives,
+                tagged,
+                cfg.negatives,
+                SGNS_BATCH,
+                rng,
+            ))
         };
 
         let model = Sgns::new(graph.num_nodes(), cfg.dim, rng);
@@ -99,7 +108,7 @@ mod tests {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        model.fit(&data, &mut rng);
+        model.fit(&data, &mut rng).expect("fit must succeed");
         let metrics = evaluate(&model, &split.test);
         assert!(
             metrics.roc_auc > 0.6,

@@ -17,7 +17,7 @@ use mhg_train::{edge_batches, BatchLoss, EdgeBatch, TrainStep};
 use rand::rngs::StdRng;
 
 use crate::agg::{gather_nodes, mean_relation_neighbors};
-use crate::common::{CommonConfig, FitData, LinkPredictor, TrainReport};
+use crate::common::{CommonConfig, FitData, LinkPredictor, TrainError, TrainReport};
 
 const FAN_OUT: usize = 8;
 const BATCH: usize = 256;
@@ -162,6 +162,33 @@ impl TrainStep for RgcnStep<'_> {
     fn is_fitted(&self) -> bool {
         self.node_reps.is_some()
     }
+
+    fn export_state(&self, dict: &mut mhg_ckpt::StateDict) {
+        self.params.export_state("model/params", dict);
+        self.opt.export_state("model/opt", dict);
+        if let Some(reps) = self.node_reps.as_ref() {
+            dict.put_tensor("model/node_reps", reps.clone());
+        }
+        if let Some(diag) = self.relation_diag.as_ref() {
+            dict.put_tensor("model/diag_snap", diag.clone());
+        }
+    }
+
+    fn import_state(&mut self, dict: &mhg_ckpt::StateDict) -> Result<(), mhg_ckpt::CkptError> {
+        self.params.import_state("model/params", dict)?;
+        self.opt.import_state("model/opt", dict)?;
+        *self.node_reps = if dict.contains("model/node_reps") {
+            Some(dict.tensor("model/node_reps")?.clone())
+        } else {
+            None
+        };
+        *self.relation_diag = if dict.contains("model/diag_snap") {
+            Some(dict.tensor("model/diag_snap")?.clone())
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 fn distmult_score(reps: &Tensor, diag: &Tensor, u: NodeId, v: NodeId, r: RelationId) -> f32 {
@@ -178,7 +205,7 @@ impl LinkPredictor for RGcn {
         "R-GCN"
     }
 
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> TrainReport {
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = &self.config;
         let dim = cfg.dim;
@@ -216,7 +243,14 @@ impl LinkPredictor for RGcn {
             .collect();
 
         let sample = |_epoch: usize, rng: &mut StdRng| {
-            edge_batches(graph, &negatives, &edges, cfg.negatives.min(3), BATCH, rng)
+            Ok(edge_batches(
+                graph,
+                &negatives,
+                &edges,
+                cfg.negatives.min(3),
+                BATCH,
+                rng,
+            ))
         };
 
         let mut step = RgcnStep {
@@ -259,7 +293,7 @@ mod tests {
             metapath_shapes: &dataset.metapath_shapes,
             val: &split.val,
         };
-        model.fit(&data, &mut rng);
+        model.fit(&data, &mut rng).expect("fit must succeed");
         let metrics = evaluate(&model, &split.test);
         assert!(
             metrics.roc_auc > 0.55,

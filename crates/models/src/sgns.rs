@@ -94,6 +94,24 @@ impl Sgns {
     pub fn contexts(&self) -> &Tensor {
         &self.ctx
     }
+
+    /// Serialises both tables into `dict` under `prefix`.
+    pub fn export_state(&self, prefix: &str, dict: &mut mhg_ckpt::StateDict) {
+        dict.put_tensor(format!("{prefix}/emb"), self.emb.clone());
+        dict.put_tensor(format!("{prefix}/ctx"), self.ctx.clone());
+    }
+
+    /// Restores tables exported by [`Sgns::export_state`]; the stored
+    /// shapes must match the current (config-determined) ones.
+    pub fn import_state(
+        &mut self,
+        prefix: &str,
+        dict: &mhg_ckpt::StateDict,
+    ) -> Result<(), mhg_ckpt::CkptError> {
+        self.emb = crate::common::import_tensor_like(&self.emb, &format!("{prefix}/emb"), dict)?;
+        self.ctx = crate::common::import_tensor_like(&self.ctx, &format!("{prefix}/ctx"), dict)?;
+        Ok(())
+    }
 }
 
 /// The shared `TrainStep` of the plain-SGNS walk baselines (DeepWalk,
@@ -152,6 +170,16 @@ impl TrainStep for SgnsStep<'_> {
 
     fn is_fitted(&self) -> bool {
         self.scores.is_ready()
+    }
+
+    fn export_state(&self, dict: &mut mhg_ckpt::StateDict) {
+        self.model.export_state("model/sgns", dict);
+        self.scores.export_state("model/scores", dict);
+    }
+
+    fn import_state(&mut self, dict: &mhg_ckpt::StateDict) -> Result<(), mhg_ckpt::CkptError> {
+        self.model.import_state("model/sgns", dict)?;
+        self.scores.import_state("model/scores", dict)
     }
 }
 

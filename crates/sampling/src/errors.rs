@@ -1,0 +1,27 @@
+//! The typed error surface of the sampling stage.
+
+/// A recoverable sampling failure, surfaced to the training pipeline
+/// instead of aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleError {
+    /// The background sampling worker panicked mid-production; the panic
+    /// message is preserved. The pipeline recovers by re-producing the
+    /// epoch inline (buffers are pure functions of the epoch index, so the
+    /// fallback is bit-identical).
+    WorkerPanicked(String),
+    /// A metapath scheme does not fit the graph it was applied to.
+    InvalidScheme(String),
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::WorkerPanicked(msg) => {
+                write!(f, "background sampling worker panicked: {msg}")
+            }
+            SampleError::InvalidScheme(msg) => write!(f, "invalid metapath scheme: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}

@@ -20,6 +20,7 @@
 //!   count).
 
 mod alias;
+mod errors;
 mod explore;
 mod negative;
 mod neighbors;
@@ -29,6 +30,7 @@ mod shard;
 mod walks;
 
 pub use alias::AliasTable;
+pub use errors::SampleError;
 pub use explore::InterRelationshipExplorer;
 pub use negative::{NegativeSampler, UNIGRAM_POWER};
 pub use neighbors::{LayeredNeighbors, MetapathNeighborSampler, UniformNeighborSampler};

@@ -10,32 +10,61 @@
 //! function of `i` (e.g. by seeding an RNG from the buffer index, as
 //! `mhg-train` does), so the buffer stream is identical to calling
 //! `produce(0..n)` inline on the consumer thread.
+//!
+//! A panicking producer is *contained*: the unwind is caught on the worker,
+//! converted into [`SampleError::WorkerPanicked`] and delivered in-band to
+//! the consumer, which can fall back to producing the remaining buffers
+//! inline — never a hung rendezvous or a process abort. The worker is also
+//! a fault-injection site ([`mhg_faults::FaultSite::SamplerPanic`]) so the
+//! containment path stays exercised.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread;
+
+use crate::errors::SampleError;
 
 /// Runs `consume` on the current thread while a scoped worker thread runs
 /// `produce(0), produce(1), …, produce(count - 1)` one buffer ahead.
 ///
-/// `consume` receives a puller that yields the produced buffers in order and
-/// returns `None` after all `count` buffers were delivered. The consumer may
-/// stop pulling early (early stopping): remaining buffers are abandoned and
-/// the worker exits after at most one more in-flight `produce` call.
+/// `consume` receives a puller that yields the produced buffers in order
+/// and returns `None` after all `count` buffers were delivered. A buffer of
+/// `Err(SampleError::WorkerPanicked)` means the producer panicked; the
+/// worker has exited and no further buffers will arrive — the consumer
+/// decides how to recover. The consumer may also stop pulling early (early
+/// stopping): remaining buffers are abandoned and the worker exits after at
+/// most one more in-flight `produce` call.
 ///
 /// Returns `consume`'s result once the worker has shut down.
 pub fn run_prefetched<B, P, C, R>(count: usize, produce: &P, consume: C) -> R
 where
     B: Send,
     P: Fn(usize) -> B + Sync,
-    C: FnOnce(&mut dyn FnMut() -> Option<B>) -> R,
+    C: FnOnce(&mut dyn FnMut() -> Option<Result<B, SampleError>>) -> R,
 {
     thread::scope(|scope| {
-        let (tx, rx) = mpsc::sync_channel::<B>(0);
+        let (tx, rx) = mpsc::sync_channel::<Result<B, SampleError>>(0);
         scope.spawn(move || {
             for idx in 0..count {
-                // A failed send means the consumer hung up early: stop.
-                if tx.send(produce(idx)).is_err() {
-                    break;
+                let buffer = catch_unwind(AssertUnwindSafe(|| {
+                    mhg_faults::panic_if_scheduled(mhg_faults::FaultSite::SamplerPanic);
+                    produce(idx)
+                }));
+                match buffer {
+                    Ok(b) => {
+                        // A failed send means the consumer hung up: stop.
+                        if tx.send(Ok(b)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        // Deliver the panic as a recoverable error, then
+                        // exit — the producer's state is gone.
+                        let _ = tx.send(Err(SampleError::WorkerPanicked(panic_message(
+                            payload.as_ref(),
+                        ))));
+                        break;
+                    }
                 }
             }
         });
@@ -48,6 +77,17 @@ where
     })
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,7 +98,7 @@ mod tests {
         let collected = run_prefetched(5, &produce, |next| {
             let mut got = Vec::new();
             while let Some(v) = next() {
-                got.push(v);
+                got.push(v.expect("no panic expected"));
             }
             got
         });
@@ -69,7 +109,7 @@ mod tests {
     fn zero_buffers_is_immediately_exhausted() {
         let produce = |i: usize| i;
         let pulled = run_prefetched(0, &produce, |next| next());
-        assert_eq!(pulled, None);
+        assert!(pulled.is_none());
     }
 
     #[test]
@@ -77,8 +117,8 @@ mod tests {
         let produce = |i: usize| vec![i; 3];
         // Pull only 2 of 100 buffers, then hang up.
         let got = run_prefetched(100, &produce, |next| {
-            let a = next().expect("first buffer");
-            let b = next().expect("second buffer");
+            let a = next().expect("first buffer").expect("ok");
+            let b = next().expect("second buffer").expect("ok");
             (a, b)
         });
         assert_eq!(got, (vec![0; 3], vec![1; 3]));
@@ -91,10 +131,64 @@ mod tests {
         let sum = run_prefetched(3, &produce, |next| {
             let mut s = 0usize;
             while let Some(v) = next() {
-                s += v;
+                s += v.expect("ok");
             }
             s
         });
         assert_eq!(sum, 63);
+    }
+
+    #[test]
+    fn producer_panic_surfaces_as_recoverable_error() {
+        let produce = |i: usize| {
+            if i == 2 {
+                panic!("boom at {i}");
+            }
+            i
+        };
+        // Suppress the default panic-hook backtrace noise for this test.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let got = run_prefetched(5, &produce, |next| {
+            let mut ok = Vec::new();
+            let mut err = None;
+            while let Some(r) = next() {
+                match r {
+                    Ok(v) => ok.push(v),
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            (ok, err)
+        });
+        std::panic::set_hook(prev_hook);
+        assert_eq!(got.0, vec![0, 1], "buffers before the panic still arrive");
+        match got.1 {
+            Some(SampleError::WorkerPanicked(msg)) => assert!(msg.contains("boom at 2")),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn after_panic_the_stream_ends_without_hanging() {
+        let produce = |i: usize| {
+            if i == 0 {
+                panic!("immediate");
+            }
+            i
+        };
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let events = run_prefetched(3, &produce, |next| {
+            let mut events = Vec::new();
+            while let Some(r) = next() {
+                events.push(r.is_ok());
+            }
+            events
+        });
+        std::panic::set_hook(prev_hook);
+        assert_eq!(events, vec![false], "one error, then clean exhaustion");
     }
 }

@@ -14,6 +14,8 @@ use rand::Rng;
 
 use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, RelationId};
 
+use crate::errors::SampleError;
+
 /// A generated random walk.
 pub type Walk = Vec<NodeId>;
 
@@ -148,25 +150,25 @@ pub struct MetapathWalker<'g> {
 }
 
 impl<'g> MetapathWalker<'g> {
-    /// Creates a walker for an intra-relationship scheme.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheme is not intra-relationship or fails validation.
-    pub fn new(graph: &'g MultiplexGraph, scheme: MetapathScheme) -> Self {
-        assert!(
-            scheme.is_intra_relationship(),
-            "training walks use intra-relationship schemes"
-        );
+    /// Creates a walker for an intra-relationship scheme; a scheme that is
+    /// not intra-relationship or does not fit the graph's schema is a typed
+    /// [`SampleError`], surfaced through the training pipeline instead of
+    /// aborting the process.
+    pub fn new(graph: &'g MultiplexGraph, scheme: MetapathScheme) -> Result<Self, SampleError> {
+        if !scheme.is_intra_relationship() {
+            return Err(SampleError::InvalidScheme(
+                "training walks use intra-relationship schemes".to_string(),
+            ));
+        }
         scheme
             .validate(graph.schema())
-            .expect("scheme must match the graph schema");
+            .map_err(|e| SampleError::InvalidScheme(e.to_string()))?;
         let relation = scheme.relations()[0];
-        Self {
+        Ok(Self {
             graph,
             scheme,
             relation,
-        }
+        })
     }
 
     /// The scheme driving this walker.
@@ -307,7 +309,7 @@ mod tests {
         let video = schema.node_type_id("video").unwrap();
         let like = schema.relation_id("like").unwrap();
         let scheme = MetapathScheme::intra(vec![user, video, user], like);
-        let w = MetapathWalker::new(&g, scheme);
+        let w = MetapathWalker::new(&g, scheme).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let walk = w.walk(NodeId(0), 9, &mut rng);
         assert!(walk.len() >= 3, "walk too short: {walk:?}");
@@ -329,7 +331,7 @@ mod tests {
         let video = schema.node_type_id("video").unwrap();
         let like = schema.relation_id("like").unwrap();
         let scheme = MetapathScheme::intra(vec![user, video, user], like);
-        let w = MetapathWalker::new(&g, scheme);
+        let w = MetapathWalker::new(&g, scheme).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         // v0 is a video — walk must stop immediately.
         assert_eq!(w.walk(NodeId(2), 9, &mut rng), vec![NodeId(2)]);
@@ -345,7 +347,7 @@ mod tests {
         let video = schema.node_type_id("video").unwrap();
         let like = schema.relation_id("like").unwrap();
         let scheme = MetapathScheme::intra(vec![user, video, user], like);
-        let w = MetapathWalker::new(&g, scheme);
+        let w = MetapathWalker::new(&g, scheme).unwrap();
         let mut rng = StdRng::seed_from_u64(10);
         for _ in 0..50 {
             let walk = w.walk(NodeId(1), 5, &mut rng);

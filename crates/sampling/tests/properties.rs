@@ -86,7 +86,7 @@ proptest! {
         let item = schema.node_type_id("item").unwrap();
         let r = RelationId(0);
         let scheme = MetapathScheme::intra(vec![user, item, user], r);
-        let walker = MetapathWalker::new(&g, scheme);
+        let walker = MetapathWalker::new(&g, scheme).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let walk = walker.walk(NodeId(0), 9, &mut rng);
         for (i, &v) in walk.iter().enumerate() {

@@ -1,0 +1,65 @@
+//! Typed errors surfaced by the training pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use mhg_ckpt::CkptError;
+use mhg_sampling::SampleError;
+
+/// Everything that can go wrong inside [`crate::train`].
+///
+/// The pipeline recovers from transient faults on its own (a panicking
+/// background sampler falls back to inline sampling, a non-finite epoch
+/// loss rolls back to the last good state); these variants are what remains
+/// when recovery is impossible or exhausted.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The sampling recipe failed deterministically (bad metapath scheme,
+    /// repeated worker failure after the inline fallback).
+    Sample(SampleError),
+    /// Reading or writing a checkpoint failed.
+    Checkpoint(CkptError),
+    /// The epoch loss stayed non-finite through every rollback attempt —
+    /// the run genuinely diverged rather than hitting a transient fault.
+    Diverged {
+        /// Epoch index at which the final non-finite loss was observed.
+        epoch: usize,
+        /// Rollbacks attempted before giving up.
+        rollbacks: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Sample(e) => write!(f, "sampling failed: {e}"),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+            TrainError::Diverged { epoch, rollbacks } => write!(
+                f,
+                "training diverged: non-finite loss at epoch {epoch} after {rollbacks} rollbacks"
+            ),
+        }
+    }
+}
+
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Sample(e) => Some(e),
+            TrainError::Checkpoint(e) => Some(e),
+            TrainError::Diverged { .. } => None,
+        }
+    }
+}
+
+impl From<SampleError> for TrainError {
+    fn from(e: SampleError) -> Self {
+        TrainError::Sample(e)
+    }
+}
+
+impl From<CkptError> for TrainError {
+    fn from(e: CkptError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}

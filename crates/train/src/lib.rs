@@ -24,13 +24,30 @@
 //! are bit-identical whether sampling runs inline or in the background —
 //! the switch is purely a throughput knob.
 //!
+//! # Crash safety
+//!
+//! With [`TrainOptions::checkpoint_dir`] set, the pipeline persists
+//! versioned, checksummed, atomically-written snapshots (via `mhg-ckpt`) of
+//! everything a run owns — model parameters, optimizer moments, the RNG
+//! stream, the epoch cursor, early-stopping state — at the configured
+//! cadence and at run end. [`TrainOptions::resume`] restores the latest
+//! snapshot; a killed-and-resumed run is bit-identical to an uninterrupted
+//! one. Independently, the loop recovers from a panicking background
+//! sampler (inline fallback), non-finite losses (rollback to the last good
+//! state) and transient checkpoint IO errors (bounded retry) — all
+//! deterministically, exercised by the `mhg-faults` injection harness.
+//!
 //! This crate is the single owner of training control flow: the `epoch-loop`
 //! rule of `mhg-lint` flags `for epoch in` loops anywhere outside it.
 
+mod error;
 mod pipeline;
 mod recipes;
 mod report;
 
+pub use error::TrainError;
 pub use pipeline::{epoch_seed, train, BatchLoss, TrainOptions, TrainStep};
 pub use recipes::{edge_batches, pair_batches, EdgeBatch, PairExample};
-pub use report::{pair_budget, EarlyStopper, StopDecision, TimingBreakdown, TrainReport};
+pub use report::{
+    pair_budget, EarlyStopper, RecoveryCounters, StopDecision, TimingBreakdown, TrainReport,
+};

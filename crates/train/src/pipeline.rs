@@ -1,15 +1,20 @@
-//! The epoch control flow: Sampler → Batcher → Step → Validator/EarlyStop.
+//! The epoch control flow: Sampler → Batcher → Step → Validator/EarlyStop,
+//! plus crash-safe checkpointing and deterministic fault recovery.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use mhg_sampling::run_prefetched;
+use mhg_ckpt::{Checkpointer, CkptError, StateDict};
+use mhg_faults::FaultSite;
+use mhg_sampling::{run_prefetched, SampleError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::report::{EarlyStopper, StopDecision, TrainReport};
+use crate::error::TrainError;
+use crate::report::{EarlyStopper, RecoveryCounters, StopDecision, TrainReport};
 
 /// Loop-level options shared by every model.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TrainOptions {
     /// Maximum epochs.
     pub epochs: usize,
@@ -23,6 +28,20 @@ pub struct TrainOptions {
     /// (`MHG_THREADS` env, else available parallelism). Bit-identical for
     /// any value by the pool's determinism contract.
     pub threads: usize,
+    /// Snapshot the full pipeline state every this many completed epochs
+    /// (`0` = no per-epoch cadence; a final checkpoint is still written
+    /// when `checkpoint_dir` is set). The cadence also refreshes the
+    /// in-memory rollback anchor used for divergence recovery, so it is
+    /// meaningful even without a checkpoint directory.
+    pub checkpoint_every: usize,
+    /// Directory for on-disk checkpoints (atomic, checksummed `.mhgc`
+    /// files via `mhg-ckpt`). `None` disables persistence entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Restore from the latest checkpoint in `checkpoint_dir` before
+    /// training, if one exists. The restored state is authoritative: the
+    /// continuation is bit-identical to an uninterrupted run regardless of
+    /// how the resuming process seeded its RNG or re-initialized the model.
+    pub resume: bool,
 }
 
 /// Loss contribution of one minibatch step.
@@ -47,6 +66,13 @@ pub struct BatchLoss {
 /// when validation improved); [`TrainStep::is_fitted`] reports whether a
 /// final artefact exists. The pipeline guarantees `promote` is called at
 /// least once per `fit`, so `is_fitted` holds on return from [`train`].
+///
+/// [`TrainStep::export_state`] / [`TrainStep::import_state`] serialise
+/// everything the model owns that training mutates — parameters, optimizer
+/// moments, the committed artefact — under the model's own key prefix
+/// (conventionally `model/…`). Restoring an export and continuing must be
+/// bit-identical to never having stopped; this is what checkpoint/resume
+/// and divergence rollback are built on.
 pub trait TrainStep {
     /// One epoch's minibatch unit, produced by the sampling recipe.
     /// `Send` so batches can cross from the prefetch worker thread.
@@ -64,13 +90,21 @@ pub trait TrainStep {
 
     /// Whether a final artefact has been committed.
     fn is_fitted(&self) -> bool;
+
+    /// Serialises all training-mutable model state into `dict`.
+    fn export_state(&self, dict: &mut StateDict);
+
+    /// Restores state exported by [`TrainStep::export_state`].
+    fn import_state(&mut self, dict: &StateDict) -> Result<(), CkptError>;
 }
 
 /// Derives the sampler seed for `epoch` from `base` (splitmix64 finalizer).
 ///
 /// Sampling RNG streams are a pure function of `(base, epoch)` — never of
 /// training progress — which is what lets the background worker run one
-/// epoch ahead of the step stage without changing any result.
+/// epoch ahead of the step stage without changing any result, and what
+/// makes every recovery path below replayable: re-sampling an epoch after
+/// a rollback or a sampler fallback reproduces its batches exactly.
 pub fn epoch_seed(base: u64, epoch: u64) -> u64 {
     // Same mixer as the per-shard walk seeds; see mhg_sampling::derive_seed.
     mhg_sampling::derive_seed(base, epoch)
@@ -80,49 +114,205 @@ fn ms_since(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// Rollback budget for non-finite epoch losses. Injected faults are
+/// occurrence-consumed, so one rollback per injection suffices; a *real*
+/// divergence replays identically every attempt and exhausts this budget
+/// into [`TrainError::Diverged`].
+const MAX_NAN_ROLLBACKS: usize = 4;
+
+/// Checkpoint format version for the loop-level snapshot keys.
+const SNAPSHOT_FORMAT: u64 = 1;
+
+/// Everything the epoch loop itself owns; model state lives in the step.
+struct LoopState {
+    /// Base seed all per-epoch sampler seeds derive from.
+    base: u64,
+    /// Next epoch to run (== completed epoch count).
+    epoch: usize,
+    report: TrainReport,
+    stopper: EarlyStopper,
+    /// Early stopping fired; persisted so a resumed run does not continue.
+    stopped: bool,
+}
+
+/// Captures the complete pipeline state (loop + RNG + model) after a
+/// completed epoch boundary.
+fn snapshot<T: TrainStep>(st: &LoopState, rng: &StdRng, step: &T) -> StateDict {
+    let mut dict = StateDict::new();
+    dict.put_u64("loop/format", SNAPSHOT_FORMAT);
+    dict.put_u64("loop/base", st.base);
+    dict.put_u64("loop/epoch", st.epoch as u64);
+    dict.put_u64("loop/stopped", u64::from(st.stopped));
+    dict.put_u64s("loop/rng", rng.to_state().to_vec());
+    st.stopper.export_state("loop/stopper", &mut dict);
+    dict.put_u64("loop/report/epochs_run", st.report.epochs_run as u64);
+    dict.put_u64(
+        "loop/report/final_loss",
+        u64::from(st.report.final_loss.to_bits()),
+    );
+    // Wall-clock totals are persisted for report fidelity but are the one
+    // part of a resumed report outside the bit-identity contract.
+    dict.put_f64("loop/report/sample_ms", st.report.timing.sample_ms);
+    dict.put_f64("loop/report/compute_ms", st.report.timing.compute_ms);
+    dict.put_f64("loop/report/eval_ms", st.report.timing.eval_ms);
+    step.export_state(&mut dict);
+    dict
+}
+
+/// Restores a [`snapshot`]; the restored state is authoritative over
+/// whatever the caller had (base seed, RNG stream, model parameters).
+fn restore<T: TrainStep>(
+    st: &mut LoopState,
+    rng: &mut StdRng,
+    step: &mut T,
+    dict: &StateDict,
+) -> Result<(), CkptError> {
+    let format = dict.u64("loop/format")?;
+    if format != SNAPSHOT_FORMAT {
+        return Err(CkptError::UnsupportedVersion(format as u16));
+    }
+    let rng_state = dict.u64s("loop/rng")?;
+    if rng_state.len() != 4 {
+        return Err(CkptError::ShapeMismatch(format!(
+            "loop/rng has {} words, expected 4",
+            rng_state.len()
+        )));
+    }
+    st.base = dict.u64("loop/base")?;
+    st.epoch = dict.u64("loop/epoch")? as usize;
+    st.stopped = dict.u64("loop/stopped")? != 0;
+    *rng = StdRng::from_state([rng_state[0], rng_state[1], rng_state[2], rng_state[3]]);
+    st.stopper = EarlyStopper::import_state("loop/stopper", dict)?;
+    st.report.epochs_run = dict.u64("loop/report/epochs_run")? as usize;
+    st.report.final_loss = f32::from_bits(dict.u64("loop/report/final_loss")? as u32);
+    st.report.timing.sample_ms = dict.f64("loop/report/sample_ms")?;
+    st.report.timing.compute_ms = dict.f64("loop/report/compute_ms")?;
+    st.report.timing.eval_ms = dict.f64("loop/report/eval_ms")?;
+    step.import_state(dict)?;
+    Ok(())
+}
+
+/// How one contiguous stretch of epochs ended.
+enum SpanExit {
+    /// Epoch budget exhausted or early stopping fired.
+    Finished,
+    /// The sampling stage failed (worker panic or recipe error).
+    SamplerFailed(SampleError),
+    /// A non-finite epoch loss was detected before committing the epoch.
+    Diverged,
+}
+
+/// Outcome of stepping + validating one epoch's batches.
+enum EpochOutcome {
+    Committed,
+    Stopped,
+    Diverged,
+}
+
 /// Runs the full training loop: samples each epoch with `sample` (inline or
 /// double-buffered on a background thread per `opts.background`), steps
-/// `step` over the produced batches, validates, early-stops, and returns a
-/// uniformly initialized and finalized [`TrainReport`].
+/// `step` over the produced batches, validates, early-stops, checkpoints at
+/// the configured cadence, and returns a uniformly initialized and
+/// finalized [`TrainReport`].
 ///
 /// `sample(epoch, rng)` receives an RNG seeded by [`epoch_seed`] from a
 /// base drawn once from `rng`; `step` hooks receive `rng` itself. The two
 /// streams are independent, so background and inline sampling produce
 /// byte-identical models.
-pub fn train<S, T>(opts: &TrainOptions, sample: S, step: &mut T, rng: &mut StdRng) -> TrainReport
+///
+/// # Crash safety and recovery
+///
+/// With `checkpoint_dir` set, the loop persists atomic checksummed
+/// snapshots; `resume: true` restores the latest one, and
+/// `train(k)` → crash → `train(n)` with resume is bit-identical to a
+/// single `train(n)`. Independently of persistence, the loop survives a
+/// panicking background sampler (inline fallback over the same epochs), a
+/// non-finite epoch loss (rollback to the last good state, bounded by a
+/// deterministic retry budget), and transient checkpoint-write IO errors
+/// (bounded retry inside `mhg-ckpt`) — all without changing any result.
+pub fn train<S, T>(
+    opts: &TrainOptions,
+    sample: S,
+    step: &mut T,
+    rng: &mut StdRng,
+) -> Result<TrainReport, TrainError>
 where
     T: TrainStep,
-    S: Fn(usize, &mut StdRng) -> Vec<T::Batch> + Sync,
+    S: Fn(usize, &mut StdRng) -> Result<Vec<T::Batch>, SampleError> + Sync,
 {
     // Size the kernel/walk worker pool for the whole run (0 = inherit).
     let _pool = mhg_par::scoped_threads(opts.threads);
-    let base: u64 = rng.gen();
-    let mut report = TrainReport::default();
-    let mut stopper = EarlyStopper::new(opts.patience);
-
-    // Sampling stage: timed where it runs (worker thread or inline).
-    let produce = |epoch: usize| -> (Vec<T::Batch>, f64) {
-        let started = Instant::now();
-        let mut sample_rng = StdRng::seed_from_u64(epoch_seed(base, epoch as u64));
-        let batches = sample(epoch, &mut sample_rng);
-        (batches, ms_since(started))
+    let mut st = LoopState {
+        base: rng.gen(),
+        epoch: 0,
+        report: TrainReport::default(),
+        stopper: EarlyStopper::new(opts.patience),
+        stopped: false,
     };
+    let mut recovery = RecoveryCounters::default();
 
-    if opts.background && opts.epochs > 0 {
-        run_prefetched(opts.epochs, &produce, |next| {
-            drive(step, rng, &mut report, &mut stopper, next);
-        });
-    } else {
-        let mut epoch = 0usize;
-        let epochs = opts.epochs;
-        drive(step, rng, &mut report, &mut stopper, &mut || {
-            if epoch >= epochs {
-                return None;
+    let ckpt = match &opts.checkpoint_dir {
+        Some(dir) => Some(Checkpointer::create(dir)?),
+        None => None,
+    };
+    if opts.resume {
+        if let Some(c) = &ckpt {
+            if let Some((epoch, dict)) = c.load_latest()? {
+                restore(&mut st, rng, step, &dict).map_err(TrainError::Checkpoint)?;
+                recovery.resumed_from = Some(epoch);
             }
-            let buffer = produce(epoch);
-            epoch += 1;
-            Some(buffer)
-        });
+        }
+    }
+
+    // In-memory rollback anchor for divergence recovery; refreshed at the
+    // checkpoint cadence so it works with or without a checkpoint dir.
+    let mut last_good = snapshot(&st, rng, step);
+    let mut last_saved: Option<usize> = None;
+    let mut background = opts.background;
+
+    while !st.stopped && st.epoch < opts.epochs {
+        let exit = run_span(
+            opts,
+            &sample,
+            step,
+            rng,
+            &mut st,
+            background,
+            ckpt.as_ref(),
+            &mut last_good,
+            &mut last_saved,
+        )?;
+        match exit {
+            SpanExit::Finished => break,
+            SpanExit::SamplerFailed(e) => {
+                if background {
+                    eprintln!(
+                        "[mhg-train] background sampler failed at epoch {}: {e}; \
+                         falling back to inline sampling",
+                        st.epoch
+                    );
+                    recovery.sampler_fallbacks += 1;
+                    background = false;
+                } else {
+                    return Err(TrainError::Sample(e));
+                }
+            }
+            SpanExit::Diverged => {
+                recovery.nan_rollbacks += 1;
+                if recovery.nan_rollbacks > MAX_NAN_ROLLBACKS {
+                    return Err(TrainError::Diverged {
+                        epoch: st.epoch,
+                        rollbacks: recovery.nan_rollbacks - 1,
+                    });
+                }
+                eprintln!(
+                    "[mhg-train] non-finite epoch loss at epoch {}; \
+                     rolling back to last good state",
+                    st.epoch
+                );
+                restore(&mut st, rng, step, &last_good).map_err(TrainError::Checkpoint)?;
+            }
+        }
     }
 
     if !step.is_fitted() {
@@ -132,47 +322,180 @@ where
         // improves on −∞ and promotes.)
         let started = Instant::now();
         let auc = step.eval(rng);
-        report.timing.eval_ms += ms_since(started);
-        stopper.update(auc);
+        st.report.timing.eval_ms += ms_since(started);
+        st.stopper.update(auc);
         step.promote();
     }
-    report.best_val_auc = stopper.best();
-    report
+    st.report.best_val_auc = st.stopper.best();
+    if let Some(c) = &ckpt {
+        // Final checkpoint so a finished run resumes as a no-op; skipped if
+        // the cadence already saved this exact boundary (the cadence
+        // snapshot runs after the stopped flag is set, so it never misses
+        // an early stop).
+        if last_saved != Some(st.epoch) {
+            c.save(st.epoch, &snapshot(&st, rng, step))?;
+        }
+    }
+    st.report.recovery = recovery;
+    Ok(st.report)
 }
 
-/// The epoch loop body, shared between the inline and background paths:
-/// `next` yields `(batches, sample_ms)` buffers until the epoch budget or
-/// early stopping ends the run.
-fn drive<T: TrainStep>(
+/// Runs epochs from `st.epoch` until the budget, early stopping, or a
+/// recoverable fault ends the span. Sampling runs on a background worker
+/// when `background` holds, inline otherwise — bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+fn run_span<S, T>(
+    opts: &TrainOptions,
+    sample: &S,
     step: &mut T,
     rng: &mut StdRng,
-    report: &mut TrainReport,
-    stopper: &mut EarlyStopper,
-    next: &mut dyn FnMut() -> Option<(Vec<T::Batch>, f64)>,
-) {
-    while let Some((batches, sample_ms)) = next() {
-        report.timing.sample_ms += sample_ms;
+    st: &mut LoopState,
+    background: bool,
+    ckpt: Option<&Checkpointer>,
+    last_good: &mut StateDict,
+    last_saved: &mut Option<usize>,
+) -> Result<SpanExit, TrainError>
+where
+    T: TrainStep,
+    S: Fn(usize, &mut StdRng) -> Result<Vec<T::Batch>, SampleError> + Sync,
+{
+    let start = st.epoch;
+    let budget = opts.epochs - start;
+    let base = st.base;
 
+    // Sampling stage: timed where it runs (worker thread or inline).
+    let produce = move |offset: usize| -> Result<(Vec<T::Batch>, f64), SampleError> {
+        let epoch = start + offset;
         let started = Instant::now();
-        let mut loss_sum = 0.0f64;
-        let mut denom = 0usize;
-        for batch in batches {
-            let loss = step.step(batch, rng);
-            loss_sum += loss.loss_sum;
-            denom += loss.denom;
+        let mut sample_rng = StdRng::seed_from_u64(epoch_seed(base, epoch as u64));
+        let batches = sample(epoch, &mut sample_rng)?;
+        Ok((batches, ms_since(started)))
+    };
+
+    if background && budget > 0 {
+        run_prefetched(budget, &produce, |next| {
+            pump(
+                opts,
+                step,
+                rng,
+                st,
+                ckpt,
+                last_good,
+                last_saved,
+                &mut || next().map(|r| r.and_then(|b| b)),
+            )
+        })
+    } else {
+        let mut offset = 0usize;
+        pump(
+            opts,
+            step,
+            rng,
+            st,
+            ckpt,
+            last_good,
+            last_saved,
+            &mut || {
+                if offset >= budget {
+                    return None;
+                }
+                let buffer = produce(offset);
+                offset += 1;
+                Some(buffer)
+            },
+        )
+    }
+}
+
+/// One sampled buffer: the epoch's batches plus the sample-stage wall time.
+type SampledBuffer<B> = Result<(Vec<B>, f64), SampleError>;
+
+/// The span body shared between the inline and background paths: `next`
+/// yields `(batches, sample_ms)` buffers (or a sampling error) until the
+/// span ends.
+#[allow(clippy::too_many_arguments)]
+fn pump<T: TrainStep>(
+    opts: &TrainOptions,
+    step: &mut T,
+    rng: &mut StdRng,
+    st: &mut LoopState,
+    ckpt: Option<&Checkpointer>,
+    last_good: &mut StateDict,
+    last_saved: &mut Option<usize>,
+    next: &mut dyn FnMut() -> Option<SampledBuffer<T::Batch>>,
+) -> Result<SpanExit, TrainError> {
+    while let Some(buffer) = next() {
+        let (batches, sample_ms) = match buffer {
+            Ok(b) => b,
+            Err(e) => return Ok(SpanExit::SamplerFailed(e)),
+        };
+        let outcome = drive_epoch(step, rng, st, batches, sample_ms);
+        match outcome {
+            EpochOutcome::Diverged => return Ok(SpanExit::Diverged),
+            EpochOutcome::Committed | EpochOutcome::Stopped => {
+                let completed = st.epoch;
+                if opts.checkpoint_every > 0 && completed.is_multiple_of(opts.checkpoint_every) {
+                    let snap = snapshot(st, rng, step);
+                    if let Some(c) = ckpt {
+                        c.save(completed, &snap)?;
+                        *last_saved = Some(completed);
+                    }
+                    *last_good = snap;
+                }
+                if matches!(outcome, EpochOutcome::Stopped) {
+                    return Ok(SpanExit::Finished);
+                }
+            }
         }
-        report.timing.compute_ms += ms_since(started);
+    }
+    Ok(SpanExit::Finished)
+}
 
-        report.epochs_run += 1;
-        report.final_loss = (loss_sum / denom.max(1) as f64) as f32;
+/// Steps one epoch's batches, validates, and commits the epoch — unless
+/// the epoch loss comes out non-finite, in which case nothing is committed
+/// and the caller rolls back.
+fn drive_epoch<T: TrainStep>(
+    step: &mut T,
+    rng: &mut StdRng,
+    st: &mut LoopState,
+    batches: Vec<T::Batch>,
+    sample_ms: f64,
+) -> EpochOutcome {
+    st.report.timing.sample_ms += sample_ms;
 
-        let started = Instant::now();
-        let auc = step.eval(rng);
-        report.timing.eval_ms += ms_since(started);
-        match stopper.update(auc) {
-            StopDecision::Improved => step.promote(),
-            StopDecision::Continue => {}
-            StopDecision::Stop => break,
+    let started = Instant::now();
+    let mut loss_sum = 0.0f64;
+    let mut denom = 0usize;
+    for batch in batches {
+        let loss = step.step(batch, rng);
+        loss_sum += loss.loss_sum;
+        denom += loss.denom;
+    }
+    st.report.timing.compute_ms += ms_since(started);
+
+    let mut epoch_loss = (loss_sum / denom.max(1) as f64) as f32;
+    if mhg_faults::should_inject(FaultSite::NanLoss) {
+        epoch_loss = f32::NAN;
+    }
+    if !epoch_loss.is_finite() {
+        return EpochOutcome::Diverged;
+    }
+    st.report.epochs_run += 1;
+    st.report.final_loss = epoch_loss;
+    st.epoch += 1;
+
+    let started = Instant::now();
+    let auc = step.eval(rng);
+    st.report.timing.eval_ms += ms_since(started);
+    match st.stopper.update(auc) {
+        StopDecision::Improved => {
+            step.promote();
+            EpochOutcome::Committed
+        }
+        StopDecision::Continue => EpochOutcome::Committed,
+        StopDecision::Stop => {
+            st.stopped = true;
+            EpochOutcome::Stopped
         }
     }
 }
@@ -180,9 +503,28 @@ fn drive<T: TrainStep>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Fault plans are process-global; tests that install one (or rely on
+    /// none being installed) serialize on this guard.
+    fn faults_guard() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mhg_train_pipeline").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
 
     /// Toy step: the "model" is a counter; validation improves for the
     /// first `peak` epochs then plateaus, triggering early stopping.
+    #[derive(Debug)]
     struct CountingStep {
         steps: usize,
         evals: usize,
@@ -190,6 +532,8 @@ mod tests {
         fitted: bool,
         peak: usize,
         trace: Vec<u64>,
+        /// When set, every epoch loss comes out NaN (real divergence).
+        diverge: bool,
     }
 
     impl CountingStep {
@@ -201,6 +545,7 @@ mod tests {
                 fitted: false,
                 peak,
                 trace: Vec::new(),
+                diverge: false,
             }
         }
     }
@@ -212,7 +557,11 @@ mod tests {
             self.steps += 1;
             self.trace.extend(batch.iter().copied());
             BatchLoss {
-                loss_sum: batch.len() as f64,
+                loss_sum: if self.diverge {
+                    f64::NAN
+                } else {
+                    batch.len() as f64
+                },
                 denom: batch.len(),
             }
         }
@@ -230,31 +579,68 @@ mod tests {
         fn is_fitted(&self) -> bool {
             self.fitted
         }
+
+        fn export_state(&self, dict: &mut StateDict) {
+            dict.put_u64("model/steps", self.steps as u64);
+            dict.put_u64("model/evals", self.evals as u64);
+            dict.put_u64("model/promoted", self.promoted as u64);
+            dict.put_u64("model/fitted", u64::from(self.fitted));
+            dict.put_u64s("model/trace", self.trace.clone());
+        }
+
+        fn import_state(&mut self, dict: &StateDict) -> Result<(), CkptError> {
+            self.steps = dict.u64("model/steps")? as usize;
+            self.evals = dict.u64("model/evals")? as usize;
+            self.promoted = dict.u64("model/promoted")? as usize;
+            self.fitted = dict.u64("model/fitted")? != 0;
+            self.trace = dict.u64s("model/trace")?.to_vec();
+            Ok(())
+        }
     }
 
-    fn recipe(epoch: usize, rng: &mut StdRng) -> Vec<Vec<u64>> {
+    fn recipe(epoch: usize, rng: &mut StdRng) -> Result<Vec<Vec<u64>>, SampleError> {
         // Two batches per epoch whose content depends on the epoch RNG.
-        vec![
+        Ok(vec![
             vec![epoch as u64, rng.gen()],
             vec![rng.gen(), rng.gen(), rng.gen()],
-        ]
+        ])
     }
 
-    fn run(background: bool, epochs: usize, peak: usize) -> (TrainReport, CountingStep) {
-        let opts = TrainOptions {
+    fn opts(background: bool, epochs: usize) -> TrainOptions {
+        TrainOptions {
             epochs,
             patience: 2,
             background,
             threads: 0,
-        };
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: false,
+        }
+    }
+
+    fn run(background: bool, epochs: usize, peak: usize) -> (TrainReport, CountingStep) {
         let mut step = CountingStep::new(peak);
         let mut rng = StdRng::seed_from_u64(7);
-        let report = train(&opts, recipe, &mut step, &mut rng);
+        let report = train(&opts(background, epochs), recipe, &mut step, &mut rng)
+            .expect("clean run must succeed");
         (report, step)
+    }
+
+    fn run_with(
+        o: &TrainOptions,
+        peak: usize,
+        seed: u64,
+    ) -> Result<(TrainReport, CountingStep), TrainError> {
+        let mut step = CountingStep::new(peak);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = train(o, recipe, &mut step, &mut rng)?;
+        Ok((report, step))
     }
 
     #[test]
     fn background_matches_inline_exactly() {
+        let _g = faults_guard();
+        mhg_faults::clear();
         let (r_in, s_in) = run(false, 6, 10);
         let (r_bg, s_bg) = run(true, 6, 10);
         assert_eq!(s_in.trace, s_bg.trace, "batch streams must be identical");
@@ -265,6 +651,8 @@ mod tests {
 
     #[test]
     fn early_stopping_cuts_the_run() {
+        let _g = faults_guard();
+        mhg_faults::clear();
         // Improves for 3 epochs, patience 2 → stops at epoch 5.
         let (report, step) = run(false, 30, 3);
         assert_eq!(report.epochs_run, 5);
@@ -276,6 +664,8 @@ mod tests {
 
     #[test]
     fn zero_epoch_run_is_finalized_uniformly() {
+        let _g = faults_guard();
+        mhg_faults::clear();
         for background in [false, true] {
             let (report, step) = run(background, 0, 10);
             assert_eq!(report.epochs_run, 0);
@@ -297,6 +687,8 @@ mod tests {
 
     #[test]
     fn timing_is_accumulated() {
+        let _g = faults_guard();
+        mhg_faults::clear();
         let (report, _) = run(false, 3, 10);
         // Totals are non-negative and finite; exact values are wall-clock.
         assert!(report.timing.sample_ms >= 0.0);
@@ -307,5 +699,217 @@ mod tests {
             .per_epoch(report.epochs_run)
             .sample_ms
             .is_finite());
+    }
+
+    /// The core resume contract: train(k) → new process → resume → train(n)
+    /// is bit-identical to an uninterrupted train(n), even when the
+    /// resuming process seeds its RNG differently.
+    #[test]
+    fn split_run_with_resume_matches_uninterrupted_run() {
+        let _g = faults_guard();
+        mhg_faults::clear();
+        for background in [false, true] {
+            let (full_report, full_step) = run(background, 6, 10);
+
+            let dir = fresh_dir(if background { "split_bg" } else { "split_in" });
+            let mut part1 = opts(background, 3);
+            part1.checkpoint_every = 1;
+            part1.checkpoint_dir = Some(dir.clone());
+            run_with(&part1, 10, 7).expect("part 1 must succeed");
+
+            // "New process": fresh step, *different* RNG seed — the restored
+            // checkpoint must be authoritative over both.
+            let mut part2 = opts(background, 6);
+            part2.checkpoint_every = 1;
+            part2.checkpoint_dir = Some(dir.clone());
+            part2.resume = true;
+            let (resumed_report, resumed_step) =
+                run_with(&part2, 10, 999).expect("resumed run must succeed");
+
+            assert_eq!(resumed_report.recovery.resumed_from, Some(3));
+            assert_eq!(full_step.trace, resumed_step.trace);
+            assert_eq!(full_report.epochs_run, resumed_report.epochs_run);
+            assert_eq!(full_report.final_loss, resumed_report.final_loss);
+            assert_eq!(full_report.best_val_auc, resumed_report.best_val_auc);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// Resuming a run that already hit its epoch budget (or early-stopped)
+    /// is a no-op: no extra steps, no re-evaluation, same report.
+    #[test]
+    fn resume_of_finished_run_is_a_noop() {
+        let _g = faults_guard();
+        mhg_faults::clear();
+        let dir = fresh_dir("finished");
+        let mut o = opts(false, 4);
+        o.checkpoint_dir = Some(dir.clone());
+        let (first, step1) = run_with(&o, 10, 7).expect("first run");
+        o.resume = true;
+        let (second, step2) = run_with(&o, 10, 123).expect("resume");
+        assert_eq!(second.recovery.resumed_from, Some(4));
+        assert_eq!(step1.steps, step2.steps, "no epochs may re-run");
+        assert_eq!(step1.evals, step2.evals, "no extra evaluation");
+        assert_eq!(first.epochs_run, second.epochs_run);
+        assert_eq!(first.best_val_auc, second.best_val_auc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An early-stopped run persists its `stopped` flag: resuming with a
+    /// *larger* epoch budget still refuses to continue past the stop.
+    #[test]
+    fn resume_honors_a_persisted_early_stop() {
+        let _g = faults_guard();
+        mhg_faults::clear();
+        let dir = fresh_dir("stopped");
+        let mut o = opts(false, 30);
+        o.checkpoint_dir = Some(dir.clone());
+        let (first, _) = run_with(&o, 3, 7).expect("first run");
+        assert_eq!(first.epochs_run, 5, "peak 3 + patience 2");
+        let mut o2 = opts(false, 100);
+        o2.checkpoint_dir = Some(dir.clone());
+        o2.resume = true;
+        let (second, step2) = run_with(&o2, 3, 7).expect("resume");
+        assert_eq!(second.epochs_run, 5, "stopped flag must hold");
+        assert_eq!(step2.steps, 10, "restored steps only, no new ones");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An injected NaN loss rolls back to the last good state and replays
+    /// deterministically: the final trace and report match a clean run.
+    #[test]
+    fn injected_nan_loss_rolls_back_and_replays_bit_identically() {
+        let _g = faults_guard();
+        let (clean_report, clean_step) = {
+            mhg_faults::clear();
+            run(false, 5, 10)
+        };
+        let plan = mhg_faults::FaultPlan::new().inject(FaultSite::NanLoss, 3);
+        mhg_faults::install(plan);
+        let mut o = opts(false, 5);
+        o.checkpoint_every = 1; // refresh the rollback anchor every epoch
+        let (faulted_report, faulted_step) = run_with(&o, 10, 7).expect("must recover");
+        mhg_faults::clear();
+        assert_eq!(faulted_report.recovery.nan_rollbacks, 1);
+        assert_eq!(clean_step.trace, faulted_step.trace);
+        assert_eq!(clean_report.epochs_run, faulted_report.epochs_run);
+        assert_eq!(clean_report.final_loss, faulted_report.final_loss);
+        assert_eq!(clean_report.best_val_auc, faulted_report.best_val_auc);
+    }
+
+    /// Rollback works even with no cadence: the anchor is the run start.
+    #[test]
+    fn nan_rollback_to_run_start_still_recovers() {
+        let _g = faults_guard();
+        let (clean_report, clean_step) = {
+            mhg_faults::clear();
+            run(false, 4, 10)
+        };
+        let plan = mhg_faults::FaultPlan::new().inject(FaultSite::NanLoss, 2);
+        mhg_faults::install(plan);
+        let (faulted_report, faulted_step) =
+            run_with(&opts(false, 4), 10, 7).expect("must recover");
+        mhg_faults::clear();
+        assert_eq!(faulted_report.recovery.nan_rollbacks, 1);
+        assert_eq!(clean_step.trace, faulted_step.trace);
+        assert_eq!(clean_report.final_loss, faulted_report.final_loss);
+    }
+
+    /// A *real* divergence (every replay reproduces the NaN) exhausts the
+    /// rollback budget into a typed error instead of looping forever.
+    #[test]
+    fn real_divergence_exhausts_rollbacks_into_typed_error() {
+        let _g = faults_guard();
+        mhg_faults::clear();
+        let mut step = CountingStep::new(10);
+        step.diverge = true;
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = train(&opts(false, 3), recipe, &mut step, &mut rng)
+            .expect_err("must report divergence");
+        match err {
+            TrainError::Diverged { epoch, rollbacks } => {
+                assert_eq!(epoch, 0, "never commits an epoch");
+                assert_eq!(rollbacks, MAX_NAN_ROLLBACKS);
+            }
+            other => panic!("expected Diverged, got {other}"),
+        }
+    }
+
+    /// A panicking background sampler degrades to inline sampling of the
+    /// same epochs — run completes with an identical result.
+    #[test]
+    fn sampler_panic_falls_back_inline_bit_identically() {
+        let _g = faults_guard();
+        let (clean_report, clean_step) = {
+            mhg_faults::clear();
+            run(true, 5, 10)
+        };
+        let plan = mhg_faults::FaultPlan::new().inject(FaultSite::SamplerPanic, 2);
+        mhg_faults::install(plan);
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let result = run_with(&opts(true, 5), 10, 7);
+        std::panic::set_hook(prev_hook);
+        mhg_faults::clear();
+        let (faulted_report, faulted_step) = result.expect("must fall back");
+        assert_eq!(faulted_report.recovery.sampler_fallbacks, 1);
+        assert_eq!(clean_step.trace, faulted_step.trace);
+        assert_eq!(clean_report.epochs_run, faulted_report.epochs_run);
+        assert_eq!(clean_report.final_loss, faulted_report.final_loss);
+        assert_eq!(clean_report.best_val_auc, faulted_report.best_val_auc);
+    }
+
+    /// Checkpoint writes retry through injected IO faults without changing
+    /// the training result.
+    #[test]
+    fn checkpoint_io_faults_are_retried_transparently() {
+        let _g = faults_guard();
+        let (clean_report, clean_step) = {
+            mhg_faults::clear();
+            run(false, 4, 10)
+        };
+        let dir = fresh_dir("io_retry");
+        let plan = mhg_faults::FaultPlan::new()
+            .inject(FaultSite::IoWrite, 1)
+            .inject(FaultSite::IoWrite, 3);
+        mhg_faults::install(plan);
+        let mut o = opts(false, 4);
+        o.checkpoint_every = 1;
+        o.checkpoint_dir = Some(dir.clone());
+        let result = run_with(&o, 10, 7);
+        mhg_faults::clear();
+        let (faulted_report, faulted_step) = result.expect("retries must absorb IO faults");
+        assert_eq!(clean_step.trace, faulted_step.trace);
+        assert_eq!(clean_report.final_loss, faulted_report.final_loss);
+        // The checkpoints landed despite the injected write failures.
+        assert!(Path::new(&dir).join("ckpt-000004.mhgc").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A corrupt latest checkpoint surfaces as a typed error, not a panic.
+    #[test]
+    fn corrupt_checkpoint_on_resume_is_a_typed_error() {
+        let _g = faults_guard();
+        mhg_faults::clear();
+        let dir = fresh_dir("corrupt");
+        let mut o = opts(false, 3);
+        o.checkpoint_dir = Some(dir.clone());
+        run_with(&o, 10, 7).expect("first run");
+        // Flip a byte in the newest checkpoint.
+        let path = Path::new(&dir).join("ckpt-000003.mhgc");
+        let mut bytes = std::fs::read(&path).expect("read checkpoint");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite checkpoint");
+        o.resume = true;
+        let err = run_with(&o, 10, 7).expect_err("corruption must surface");
+        assert!(
+            matches!(
+                err,
+                TrainError::Checkpoint(CkptError::ChecksumMismatch { .. })
+            ),
+            "got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -29,6 +29,24 @@ impl TimingBreakdown {
     }
 }
 
+/// What the pipeline had to do to keep a run alive.
+///
+/// Purely diagnostic: all recoveries preserve bit-identical results (the
+/// sampler fallback re-produces the same epoch inline; a rollback restores
+/// the exact pre-epoch state and the deterministic re-run replays it), so
+/// these counters are *not* part of any checkpoint — a resumed process
+/// reports only its own recoveries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Times the background sampler died and the run fell back to inline
+    /// sampling of the same epochs.
+    pub sampler_fallbacks: usize,
+    /// Times a non-finite epoch loss was rolled back to the last good state.
+    pub nan_rollbacks: usize,
+    /// Epoch the run was restored from, if it resumed from a checkpoint.
+    pub resumed_from: Option<usize>,
+}
+
 /// Summary of a training run, produced uniformly by [`crate::train`]: the
 /// pipeline initializes it, updates it every epoch, and finalizes it after
 /// the loop — a 0-epoch run still yields a fully consistent report
@@ -43,6 +61,8 @@ pub struct TrainReport {
     pub best_val_auc: f64,
     /// Wall-clock totals per pipeline stage.
     pub timing: TimingBreakdown,
+    /// Fault-recovery actions taken during this process's run.
+    pub recovery: RecoveryCounters,
 }
 
 /// Per-epoch skip-gram pair budget for the *tape-based* walk models (GATNE,
@@ -88,6 +108,10 @@ impl EarlyStopper {
     }
 
     /// Reports this epoch's validation metric.
+    ///
+    /// A NaN metric is never promoted as the best (the comparison below is
+    /// false for NaN on either side); it counts as a non-improving epoch
+    /// against the patience budget, like any other bad validation score.
     pub fn update(&mut self, val_metric: f64) -> StopDecision {
         if val_metric > self.best {
             self.best = val_metric;
@@ -107,6 +131,27 @@ impl EarlyStopper {
     pub fn best(&self) -> f64 {
         self.best
     }
+
+    /// Serialises the stopper into `dict` under `prefix` (bit-exact: the
+    /// best metric is stored as raw IEEE-754 bits, so −∞ and any resumed
+    /// comparison behave exactly as in the original process).
+    pub fn export_state(&self, prefix: &str, dict: &mut mhg_ckpt::StateDict) {
+        dict.put_u64(format!("{prefix}/best"), self.best.to_bits());
+        dict.put_u64(format!("{prefix}/since"), self.epochs_since_best as u64);
+        dict.put_u64(format!("{prefix}/patience"), self.patience as u64);
+    }
+
+    /// Rebuilds a stopper from state exported by [`EarlyStopper::export_state`].
+    pub fn import_state(
+        prefix: &str,
+        dict: &mhg_ckpt::StateDict,
+    ) -> Result<Self, mhg_ckpt::CkptError> {
+        Ok(Self {
+            best: f64::from_bits(dict.u64(&format!("{prefix}/best"))?),
+            epochs_since_best: dict.u64(&format!("{prefix}/since"))? as usize,
+            patience: dict.u64(&format!("{prefix}/patience"))? as usize,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +167,63 @@ mod tests {
         assert_eq!(s.update(0.69), StopDecision::Continue);
         assert_eq!(s.update(0.69), StopDecision::Stop);
         assert!((s.best() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_patience_stops_on_first_plateau() {
+        let mut s = EarlyStopper::new(0);
+        // Improvements still register even with no patience budget…
+        assert_eq!(s.update(0.5), StopDecision::Improved);
+        assert_eq!(s.update(0.6), StopDecision::Improved);
+        // …but the first non-improving epoch stops the run outright.
+        assert_eq!(s.update(0.6), StopDecision::Stop);
+        assert!((s.best() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_metric_is_never_promoted_as_best() {
+        let mut s = EarlyStopper::new(3);
+        assert_eq!(s.update(f64::NAN), StopDecision::Continue);
+        assert_eq!(s.best(), f64::NEG_INFINITY, "NaN must not replace −∞");
+        assert_eq!(s.update(0.4), StopDecision::Improved);
+        // NaN after a real best: counts against patience, best unchanged.
+        assert_eq!(s.update(f64::NAN), StopDecision::Continue);
+        assert_eq!(s.update(f64::NAN), StopDecision::Continue);
+        assert_eq!(s.update(f64::NAN), StopDecision::Stop);
+        assert!((s.best() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_metric_is_handled_without_panic() {
+        let mut s = EarlyStopper::new(2);
+        assert_eq!(s.update(f64::INFINITY), StopDecision::Improved);
+        // Nothing beats +∞, so the run plateaus to a stop.
+        assert_eq!(s.update(1.0), StopDecision::Continue);
+        assert_eq!(s.update(f64::INFINITY), StopDecision::Stop);
+        assert_eq!(s.best(), f64::INFINITY);
+    }
+
+    #[test]
+    fn restored_stopper_continues_the_patience_budget() {
+        let mut s = EarlyStopper::new(3);
+        s.update(0.7);
+        s.update(0.6); // one epoch into the patience budget
+        let mut dict = mhg_ckpt::StateDict::new();
+        s.export_state("loop/stopper", &mut dict);
+        let mut restored = EarlyStopper::import_state("loop/stopper", &dict).unwrap();
+        assert!((restored.best() - 0.7).abs() < 1e-12);
+        // Two more plateau epochs exhaust the original 3-epoch budget.
+        assert_eq!(restored.update(0.6), StopDecision::Continue);
+        assert_eq!(restored.update(0.6), StopDecision::Stop);
+    }
+
+    #[test]
+    fn stopper_roundtrip_preserves_neg_infinity_best() {
+        let s = EarlyStopper::new(5);
+        let mut dict = mhg_ckpt::StateDict::new();
+        s.export_state("st", &mut dict);
+        let restored = EarlyStopper::import_state("st", &dict).unwrap();
+        assert_eq!(restored.best(), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -88,14 +88,16 @@ fn main() {
     config.common.epochs = 12;
     config.common.patience = 6;
     let mut model = HybridGnn::new(config);
-    model.fit(
-        &FitData {
-            graph: &split.train_graph,
-            metapath_shapes: &shapes,
-            val: &split.val,
-        },
-        &mut rng,
-    );
+    model
+        .fit(
+            &FitData {
+                graph: &split.train_graph,
+                metapath_shapes: &shapes,
+                val: &split.val,
+            },
+            &mut rng,
+        )
+        .expect("fit must succeed");
 
     let scores: Vec<f32> = split
         .test

@@ -56,14 +56,16 @@ fn main() {
     ] {
         let mut rng = StdRng::seed_from_u64(13);
         let mut model = HybridGnn::new(config);
-        model.fit(
-            &FitData {
-                graph: &split.train_graph,
-                metapath_shapes: &dataset.metapath_shapes,
-                val: &split.val,
-            },
-            &mut rng,
-        );
+        model
+            .fit(
+                &FitData {
+                    graph: &split.train_graph,
+                    metapath_shapes: &dataset.metapath_shapes,
+                    val: &split.val,
+                },
+                &mut rng,
+            )
+            .expect("fit must succeed");
         let scores: Vec<f32> = purchase_test
             .iter()
             .map(|e| model.score(e.u, e.v, e.relation))

@@ -37,14 +37,16 @@ fn main() {
     config.common.epochs = 12;
     config.common.patience = 6;
     let mut model = HybridGnn::new(config);
-    let report = model.fit(
-        &FitData {
-            graph: &split.train_graph,
-            metapath_shapes: &dataset.metapath_shapes,
-            val: &split.val,
-        },
-        &mut rng,
-    );
+    let report = model
+        .fit(
+            &FitData {
+                graph: &split.train_graph,
+                metapath_shapes: &dataset.metapath_shapes,
+                val: &split.val,
+            },
+            &mut rng,
+        )
+        .expect("fit must succeed");
     println!(
         "trained {} epochs, final loss {:.4}, best val ROC-AUC {:.4}",
         report.epochs_run, report.final_loss, report.best_val_auc

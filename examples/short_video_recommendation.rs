@@ -29,14 +29,16 @@ fn main() {
     config.common.epochs = 12;
     config.common.patience = 6;
     let mut model = HybridGnn::new(config);
-    model.fit(
-        &FitData {
-            graph: &split.train_graph,
-            metapath_shapes: &dataset.metapath_shapes,
-            val: &split.val,
-        },
-        &mut rng,
-    );
+    model
+        .fit(
+            &FitData {
+                graph: &split.train_graph,
+                metapath_shapes: &dataset.metapath_shapes,
+                val: &split.val,
+            },
+            &mut rng,
+        )
+        .expect("fit must succeed");
 
     // Pick an active user and rank every video they haven't liked yet.
     let user = *graph

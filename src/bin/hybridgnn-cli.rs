@@ -63,6 +63,7 @@ const USAGE: &str = "usage: hybridgnn-cli <generate|stats|train|recommend> [flag
   stats     --graph <file.mhg>
   train     --graph <file.mhg> --out <file.emb> [--epochs n] [--dim n]
             [--seed n] [--shapes type-type-type,...]
+            [--checkpoint-dir dir] [--checkpoint-every n] [--resume true]
   recommend --graph <file.mhg> --model <file.emb> --node <id>
             --relation <name> [--k n]";
 
@@ -152,15 +153,26 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut config = HybridConfig::default();
     config.common.epochs = epochs;
     config.common.dim = dim;
+    config.common.checkpoint_every = parsed(flags, "checkpoint-every", 0)?;
+    config.common.checkpoint_dir = flags.get("checkpoint-dir").map(PathBuf::from);
+    config.common.resume = parsed(flags, "resume", false)?;
+    if config.common.checkpoint_dir.is_some() && config.common.checkpoint_every == 0 {
+        config.common.checkpoint_every = 1;
+    }
     let mut model = HybridGnn::new(config);
-    let report = model.fit(
-        &FitData {
-            graph: &split.train_graph,
-            metapath_shapes: &shapes,
-            val: &split.val,
-        },
-        &mut rng,
-    );
+    let report = model
+        .fit(
+            &FitData {
+                graph: &split.train_graph,
+                metapath_shapes: &shapes,
+                val: &split.val,
+            },
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+    if let Some(resumed) = report.recovery.resumed_from {
+        println!("resumed from checkpoint at epoch {resumed}");
+    }
     println!(
         "trained {} epochs (best val ROC-AUC {:.4})",
         report.epochs_run, report.best_val_auc

@@ -14,13 +14,18 @@
 //! * [`tensor`] / [`autograd`] — the numeric substrate.
 //! * [`par`] — the deterministic worker pool behind the kernels
 //!   (`MHG_THREADS`).
+//! * [`ckpt`] — versioned, checksummed, atomically-written training
+//!   checkpoints (see DESIGN.md §2.11).
+//! * [`faults`] — the deterministic fault-injection harness (`MHG_FAULTS`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
 pub use hybridgnn as model;
 pub use mhg_autograd as autograd;
+pub use mhg_ckpt as ckpt;
 pub use mhg_datasets as datasets;
 pub use mhg_eval as eval;
+pub use mhg_faults as faults;
 pub use mhg_graph as graph;
 pub use mhg_models as models;
 pub use mhg_par as par;

@@ -20,14 +20,16 @@ fn fit(kind: DatasetKind, cfg: HybridConfig, scale: f64, seed: u64) -> (HybridGn
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
     let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
     let mut model = HybridGnn::new(cfg);
-    model.fit(
-        &FitData {
-            graph: &split.train_graph,
-            metapath_shapes: &dataset.metapath_shapes,
-            val: &split.val,
-        },
-        &mut rng,
-    );
+    model
+        .fit(
+            &FitData {
+                graph: &split.train_graph,
+                metapath_shapes: &dataset.metapath_shapes,
+                val: &split.val,
+            },
+            &mut rng,
+        )
+        .expect("fit must succeed");
     let auc = evaluate(&model, &split.test).roc_auc;
     (model, auc)
 }

@@ -61,7 +61,7 @@ fn deepwalk_hash(background: bool) -> u64 {
         metapath_shapes: &dataset.metapath_shapes,
         val: &split.val,
     };
-    let report = model.fit(&data, &mut rng);
+    let report = model.fit(&data, &mut rng).expect("fit must succeed");
     assert!(report.epochs_run > 0, "DeepWalk ran zero epochs");
     hash_embeddings(model.embedding_scores(), &split.train_graph)
 }
@@ -83,7 +83,7 @@ fn hybridgnn_hash(background: bool) -> u64 {
         metapath_shapes: &dataset.metapath_shapes,
         val: &split.val,
     };
-    let report = model.fit(&data, &mut rng);
+    let report = model.fit(&data, &mut rng).expect("fit must succeed");
     assert!(report.epochs_run > 0, "HybridGNN ran zero epochs");
     let graph = &split.train_graph;
     let mut bits: Vec<u32> = Vec::new();
@@ -100,6 +100,124 @@ fn hybridgnn_hash(background: bool) -> u64 {
 /// fixed shards with per-shard derived RNGs for the `mhg-par` pool.)
 const DEEPWALK_GOLDEN: u64 = 0x3efb_bf03_adea_3a51;
 const HYBRIDGNN_GOLDEN: u64 = 0x5ba1_2d5b_9c5c_91de;
+
+/// A fresh, empty checkpoint directory unique to `tag` (and this process).
+fn fresh_ckpt_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mhg_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// DeepWalk trained as two processes would run it: fit 1 of 3 epochs with
+/// checkpointing on, drop everything, then a *fresh* model — seeded with an
+/// unrelated RNG — resumes from the checkpoint directory and finishes the
+/// 3-epoch budget. Must hash identically to the uninterrupted run.
+fn deepwalk_split_hash(background: bool, tag: &str) -> u64 {
+    let dir = fresh_ckpt_dir(tag);
+    let configure = |epochs: usize, resume: bool| {
+        let mut cfg = CommonConfig::fast();
+        cfg.epochs = epochs;
+        cfg.dim = 16;
+        cfg.background_sampling = background;
+        cfg.checkpoint_every = 1;
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.resume = resume;
+        cfg
+    };
+    // Phase 1: the "crashed" run — 1 epoch, checkpointed.
+    {
+        let dataset = DatasetKind::Amazon.generate(0.006, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
+        let mut model = DeepWalk::new(configure(1, false));
+        let data = FitData {
+            graph: &split.train_graph,
+            metapath_shapes: &dataset.metapath_shapes,
+            val: &split.val,
+        };
+        model
+            .fit(&data, &mut rng)
+            .expect("phase-1 fit must succeed");
+    }
+    // Phase 2: a fresh model resumes; its own RNG seed (999) must be
+    // irrelevant because the checkpoint restores the full loop state.
+    let dataset = DatasetKind::Amazon.generate(0.006, 7);
+    let mut split_rng = StdRng::seed_from_u64(7);
+    let split = EdgeSplit::default_split(&dataset.graph, &mut split_rng);
+    let mut model = DeepWalk::new(configure(3, true));
+    let data = FitData {
+        graph: &split.train_graph,
+        metapath_shapes: &dataset.metapath_shapes,
+        val: &split.val,
+    };
+    let mut rng = StdRng::seed_from_u64(999);
+    let report = model
+        .fit(&data, &mut rng)
+        .expect("resumed fit must succeed");
+    assert_eq!(
+        report.recovery.resumed_from,
+        Some(1),
+        "resume must pick up after the checkpointed epoch"
+    );
+    let hash = hash_embeddings(model.embedding_scores(), &split.train_graph);
+    let _ = std::fs::remove_dir_all(&dir);
+    hash
+}
+
+/// HybridGNN variant of [`deepwalk_split_hash`]: 1 of 2 epochs, then resume.
+fn hybridgnn_split_hash(background: bool, tag: &str) -> u64 {
+    let dir = fresh_ckpt_dir(tag);
+    let configure = |epochs: usize, resume: bool| {
+        let mut cfg = HybridConfig {
+            common: CommonConfig::fast(),
+            ..HybridConfig::default()
+        };
+        cfg.common.epochs = epochs;
+        cfg.common.dim = 16;
+        cfg.common.background_sampling = background;
+        cfg.common.checkpoint_every = 1;
+        cfg.common.checkpoint_dir = Some(dir.clone());
+        cfg.common.resume = resume;
+        cfg
+    };
+    {
+        let dataset = DatasetKind::Amazon.generate(0.004, 9);
+        let mut rng = StdRng::seed_from_u64(9);
+        let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
+        let mut model = HybridGnn::new(configure(1, false));
+        let data = FitData {
+            graph: &split.train_graph,
+            metapath_shapes: &dataset.metapath_shapes,
+            val: &split.val,
+        };
+        model
+            .fit(&data, &mut rng)
+            .expect("phase-1 fit must succeed");
+    }
+    let dataset = DatasetKind::Amazon.generate(0.004, 9);
+    let mut split_rng = StdRng::seed_from_u64(9);
+    let split = EdgeSplit::default_split(&dataset.graph, &mut split_rng);
+    let mut model = HybridGnn::new(configure(2, true));
+    let data = FitData {
+        graph: &split.train_graph,
+        metapath_shapes: &dataset.metapath_shapes,
+        val: &split.val,
+    };
+    let mut rng = StdRng::seed_from_u64(999);
+    let report = model
+        .fit(&data, &mut rng)
+        .expect("resumed fit must succeed");
+    assert_eq!(report.recovery.resumed_from, Some(1));
+    let graph = &split.train_graph;
+    let mut bits: Vec<u32> = Vec::new();
+    for v in graph.nodes() {
+        for r in graph.schema().relations() {
+            bits.extend(model.embedding(v, r).iter().map(|x| x.to_bits()));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    fnv1a(bits.into_iter())
+}
 
 #[test]
 fn deepwalk_is_bit_identical_with_and_without_background_sampling() {
@@ -127,6 +245,42 @@ fn hybridgnn_is_bit_identical_with_and_without_background_sampling() {
         inline, HYBRIDGNN_GOLDEN,
         "HybridGNN embeddings drifted from the golden hash: got {inline:#018x}"
     );
+}
+
+#[test]
+fn deepwalk_resume_is_bit_identical_to_uninterrupted_run() {
+    for background in [false, true] {
+        let split_run = deepwalk_split_hash(background, &format!("dw_bg{background}"));
+        assert_eq!(
+            split_run, DEEPWALK_GOLDEN,
+            "checkpoint/resume changed DeepWalk's result (background={background}): \
+             got {split_run:#018x}"
+        );
+    }
+}
+
+#[test]
+fn hybridgnn_resume_is_bit_identical_to_uninterrupted_run() {
+    for background in [false, true] {
+        let split_run = hybridgnn_split_hash(background, &format!("hy_bg{background}"));
+        assert_eq!(
+            split_run, HYBRIDGNN_GOLDEN,
+            "checkpoint/resume changed HybridGNN's result (background={background}): \
+             got {split_run:#018x}"
+        );
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_across_thread_counts() {
+    let dw_one = hybridgnn_repro::par::with_threads(1, || deepwalk_split_hash(true, "dw_t1"));
+    let dw_four = hybridgnn_repro::par::with_threads(4, || deepwalk_split_hash(true, "dw_t4"));
+    assert_eq!(dw_one, DEEPWALK_GOLDEN, "1-thread resume drifted");
+    assert_eq!(dw_four, DEEPWALK_GOLDEN, "4-thread resume drifted");
+    let hy_one = hybridgnn_repro::par::with_threads(1, || hybridgnn_split_hash(true, "hy_t1"));
+    let hy_four = hybridgnn_repro::par::with_threads(4, || hybridgnn_split_hash(true, "hy_t4"));
+    assert_eq!(hy_one, HYBRIDGNN_GOLDEN, "1-thread resume drifted");
+    assert_eq!(hy_four, HYBRIDGNN_GOLDEN, "4-thread resume drifted");
 }
 
 #[test]

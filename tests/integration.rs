@@ -20,14 +20,16 @@ fn tiny_fit<M: LinkPredictor>(
     let dataset = kind.generate(scale, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
     let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
-    model.fit(
-        &FitData {
-            graph: &split.train_graph,
-            metapath_shapes: &dataset.metapath_shapes,
-            val: &split.val,
-        },
-        &mut rng,
-    );
+    model
+        .fit(
+            &FitData {
+                graph: &split.train_graph,
+                metapath_shapes: &dataset.metapath_shapes,
+                val: &split.val,
+            },
+            &mut rng,
+        )
+        .expect("fit must succeed");
     (model, dataset, split)
 }
 

@@ -227,6 +227,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exports the raw generator state (for checkpointing). Restoring
+        /// via [`StdRng::from_state`] continues the exact same stream.
+        pub fn to_state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Rebuilds a generator from a state exported by
+        /// [`StdRng::to_state`].
+        pub fn from_state(state: [u64; 4]) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.state;
