@@ -56,4 +56,5 @@ fn main() {
             100.0 * stats.multiplex_pair_fraction
         );
     }
+    mhg_bench::finish_metrics(&cfg);
 }

@@ -36,6 +36,7 @@ fn main() {
     sweep(&cfg, &datasets, &[1, 3, 5, 7], |c, v| {
         c.common.negatives = v;
     });
+    mhg_bench::finish_metrics(&cfg);
 }
 
 fn sweep(

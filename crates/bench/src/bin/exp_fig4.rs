@@ -45,4 +45,5 @@ fn main() {
             println!();
         }
     }
+    mhg_bench::finish_metrics(&cfg);
 }

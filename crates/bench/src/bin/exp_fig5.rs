@@ -72,4 +72,5 @@ fn main() {
         }
         println!();
     }
+    mhg_bench::finish_metrics(&cfg);
 }

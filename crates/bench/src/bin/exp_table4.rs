@@ -14,4 +14,5 @@ fn main() {
         &cfg,
         &[DatasetKind::Amazon, DatasetKind::YouTube, DatasetKind::Imdb],
     );
+    mhg_bench::finish_metrics(&cfg);
 }

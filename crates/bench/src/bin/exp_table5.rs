@@ -11,4 +11,5 @@ fn main() {
         cfg.scale, cfg.dim, cfg.epochs, cfg.runs
     );
     link_prediction_experiment(&cfg, &[DatasetKind::Taobao, DatasetKind::Kuaishou]);
+    mhg_bench::finish_metrics(&cfg);
 }

@@ -36,4 +36,5 @@ fn main() {
         }
         println!();
     }
+    mhg_bench::finish_metrics(&cfg);
 }

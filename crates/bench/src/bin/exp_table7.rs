@@ -86,4 +86,5 @@ fn main() {
             label, aucs[0], aucs[1], aucs[2]
         );
     }
+    mhg_bench::finish_metrics(&cfg);
 }

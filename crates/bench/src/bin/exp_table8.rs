@@ -55,4 +55,5 @@ fn main() {
         }
         println!();
     }
+    mhg_bench::finish_metrics(&cfg);
 }

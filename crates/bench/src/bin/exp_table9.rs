@@ -93,4 +93,5 @@ fn main() {
         }
     }
     println!();
+    mhg_bench::finish_metrics(&cfg);
 }

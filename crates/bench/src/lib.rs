@@ -11,8 +11,8 @@ use hybridgnn::{HybridConfig, HybridGnn};
 use mhg_datasets::{Dataset, DatasetKind, EdgeSplit};
 use mhg_eval::{topk_metrics, TopKMetrics};
 use mhg_models::{
-    evaluate, ranking_queries, CommonConfig, DeepWalk, FitData, Gatne, Gcn, GraphSage, Han, Line,
-    LinkPredictor, Magnn, ModelMetrics, Node2Vec, RGcn, TrainError,
+    evaluate, ranking_queries, CommonConfig, DeepWalk, EventValue, FitData, Gatne, Gcn, GraphSage,
+    Han, Line, LinkPredictor, Magnn, ModelMetrics, Node2Vec, Obs, ObsConfig, RGcn, TrainError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,7 +36,8 @@ pub const MODEL_NAMES: [&str; 10] = [
 ///
 /// Flags: `--scale <f64>`, `--seed <u64>`, `--epochs <usize>`,
 /// `--dim <usize>`, `--runs <usize>`, `--k <usize>`, `--datasets a,b,c`,
-/// `--models a,b,c`, `--resume-dir <path>`, `--checkpoint-every <n>`.
+/// `--models a,b,c`, `--resume-dir <path>`, `--checkpoint-every <n>`,
+/// `--metrics-out <path>`.
 #[derive(Clone, Debug)]
 pub struct ExpConfig {
     /// Dataset scale relative to the paper's published sizes.
@@ -71,6 +72,14 @@ pub struct ExpConfig {
     /// Checkpoint directory for the cell currently training. Set by
     /// [`ExpConfig::for_cell`], not by a CLI flag.
     pub cell_checkpoint_dir: Option<PathBuf>,
+    /// Write the experiment's metrics as JSON lines to this path (see the
+    /// README's "Reading metrics.jsonl"). Merged into — and overriding —
+    /// whatever `MHG_OBS` configures.
+    pub metrics_out: Option<PathBuf>,
+    /// Observability handle shared by every model run of the experiment.
+    /// Built by [`ExpConfig::from_args`] from `MHG_OBS` + `--metrics-out`,
+    /// with stderr progress notes always on (this is a human harness).
+    pub obs: Obs,
 }
 
 impl Default for ExpConfig {
@@ -89,8 +98,21 @@ impl Default for ExpConfig {
             resume_dir: None,
             checkpoint_every: 0,
             cell_checkpoint_dir: None,
+            metrics_out: None,
+            obs: harness_obs(None),
         }
     }
+}
+
+/// The harness observability handle: `MHG_OBS` settings plus an optional
+/// `--metrics-out` JSONL override, with progress notes forced on.
+fn harness_obs(metrics_out: Option<PathBuf>) -> Obs {
+    let mut oc = ObsConfig::from_env();
+    oc.notes = true;
+    if metrics_out.is_some() {
+        oc.jsonl = metrics_out;
+    }
+    oc.build()
 }
 
 impl ExpConfig {
@@ -131,6 +153,11 @@ impl ExpConfig {
                         value.as_ref().expect("--resume-dir requires a path"),
                     ));
                 }
+                "--metrics-out" => {
+                    cfg.metrics_out = Some(PathBuf::from(
+                        value.as_ref().expect("--metrics-out requires a path"),
+                    ));
+                }
                 "--datasets" => {
                     cfg.datasets = value
                         .as_ref()
@@ -156,10 +183,10 @@ impl ExpConfig {
                         .collect();
                 }
                 "--help" | "-h" => {
-                    eprintln!(
+                    println!(
                         "flags: --scale f --seed n --epochs n --dim n --runs n --k n \
                          --pool n --max-queries n --datasets a,b,c --models a,b,c \
-                         --resume-dir path --checkpoint-every n\n\
+                         --resume-dir path --checkpoint-every n --metrics-out path\n\
                          models: {}",
                         MODEL_NAMES.join(",")
                     );
@@ -169,6 +196,7 @@ impl ExpConfig {
             }
             i += 2;
         }
+        cfg.obs = harness_obs(cfg.metrics_out.clone());
         cfg
     }
 
@@ -194,6 +222,7 @@ impl ExpConfig {
             checkpoint_every: self.checkpoint_every,
             checkpoint_dir: self.cell_checkpoint_dir.clone(),
             resume: self.cell_checkpoint_dir.is_some(),
+            obs: self.obs.clone(),
             ..CommonConfig::default()
         }
     }
@@ -300,7 +329,7 @@ pub fn run_model(
         cfg.epochs
     );
     let per = report.timing.per_epoch(report.epochs_run);
-    eprintln!(
+    cfg.obs.note(&format!(
         "    {}: {} epoch(s), loss {:.4}, best val AUC {:.4}, per-epoch \
          sample {:.0}ms / compute {:.0}ms / eval {:.0}ms",
         model.name(),
@@ -310,6 +339,16 @@ pub fn run_model(
         per.sample_ms,
         per.compute_ms,
         per.eval_ms
+    ));
+    cfg.obs.event(
+        "model_report",
+        &[
+            ("model", EventValue::Str(model.name().to_string())),
+            ("run", EventValue::U64(run as u64)),
+            ("epochs_run", EventValue::U64(report.epochs_run as u64)),
+            ("final_loss", EventValue::F64(f64::from(report.final_loss))),
+            ("best_val_auc", EventValue::F64(report.best_val_auc)),
+        ],
     );
     Ok(classification_and_ranking(model, dataset, split, cfg, run))
 }
@@ -322,7 +361,14 @@ fn cell_marker(dir: &Path, kind: DatasetKind, model: &str, run: usize) -> PathBu
 /// Persists a finished cell's metrics atomically so a killed experiment can
 /// skip the cell on re-run. Errors are reported, not fatal: losing a marker
 /// only costs recomputation.
-pub fn save_cell(dir: &Path, kind: DatasetKind, model: &str, run: usize, m: &FullMetrics) {
+pub fn save_cell(
+    obs: &Obs,
+    dir: &Path,
+    kind: DatasetKind,
+    model: &str,
+    run: usize,
+    m: &FullMetrics,
+) {
     let mut dict = mhg_ckpt::StateDict::new();
     dict.put_f64("roc_auc", m.roc_auc);
     dict.put_f64("pr_auc", m.pr_auc);
@@ -333,10 +379,10 @@ pub fn save_cell(dir: &Path, kind: DatasetKind, model: &str, run: usize, m: &Ful
     let write = std::fs::create_dir_all(dir)
         .and_then(|()| mhg_ckpt::atomic_write_retry(&path, &mhg_ckpt::encode(&dict), 3));
     if let Err(e) = write {
-        eprintln!(
+        obs.note(&format!(
             "warning: could not persist cell marker {}: {e}",
             path.display()
-        );
+        ));
     }
 }
 
@@ -419,7 +465,10 @@ pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind])
             for (mi, name) in model_names.iter().enumerate() {
                 if let Some(dir) = &cfg.resume_dir {
                     if let Some(metrics) = load_cell(dir, kind, name, run) {
-                        eprintln!("[{kind} run {run}] {name} restored from marker");
+                        // The exact message text is part of the resume-smoke
+                        // CI contract (grepped from the harness stderr).
+                        cfg.obs
+                            .note(&format!("[{kind} run {run}] {name} restored from marker"));
                         results[mi].push(metrics);
                         continue;
                     }
@@ -430,12 +479,12 @@ pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind])
                 let started = std::time::Instant::now();
                 let metrics = run_model(model, &dataset, &split, &cell_cfg, run)
                     .unwrap_or_else(|e| panic!("{name} on {kind}: {e}"));
-                eprintln!(
+                cfg.obs.note(&format!(
                     "[{kind} run {run}] {name} done in {:.1?}",
                     started.elapsed()
-                );
+                ));
                 if let Some(dir) = &cfg.resume_dir {
-                    save_cell(dir, kind, name, run, &metrics);
+                    save_cell(&cfg.obs, dir, kind, name, run, &metrics);
                 }
                 results[mi].push(metrics);
             }
@@ -482,6 +531,19 @@ pub fn link_prediction_experiment(cfg: &ExpConfig, default_sets: &[DatasetKind])
                 );
             }
         }
+    }
+}
+
+/// Flushes the experiment's observability output: writes `metrics.jsonl`
+/// when `--metrics-out` (or `MHG_OBS=jsonl=...`) was given and prints the
+/// stderr summary when requested. Every `exp_*` binary calls this last.
+pub fn finish_metrics(cfg: &ExpConfig) {
+    match cfg.obs.finish() {
+        Ok(Some(path)) => println!("metrics written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => cfg
+            .obs
+            .note(&format!("warning: could not write metrics: {e}")),
     }
 }
 

@@ -15,11 +15,23 @@
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mhg_faults::FaultSite;
 
 /// Default attempt budget for [`atomic_write_retry`].
 pub const DEFAULT_WRITE_ATTEMPTS: u32 = 3;
+
+/// Process-wide count of transient write failures absorbed by
+/// [`atomic_write_retry`]. Read by the observability layer's run summary.
+static WRITE_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Total transient write failures absorbed (retried) by
+/// [`atomic_write_retry`] since process start. Failures that exhausted the
+/// retry budget are surfaced as errors, not counted here.
+pub fn write_retries() -> u64 {
+    WRITE_RETRIES.load(Ordering::Relaxed)
+}
 
 fn tmp_sibling(path: &Path) -> PathBuf {
     let mut name = path
@@ -57,8 +69,8 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
 }
 
 /// [`atomic_write`] with up to `attempts` tries. Transient errors (like
-/// injected [`FaultSite::IoWrite`] faults) are logged and retried; the last
-/// error is returned once the budget is exhausted.
+/// injected [`FaultSite::IoWrite`] faults) are counted in [`write_retries`]
+/// and retried; the last error is returned once the budget is exhausted.
 pub fn atomic_write_retry(path: impl AsRef<Path>, bytes: &[u8], attempts: u32) -> io::Result<()> {
     let path = path.as_ref();
     let attempts = attempts.max(1);
@@ -67,11 +79,8 @@ pub fn atomic_write_retry(path: impl AsRef<Path>, bytes: &[u8], attempts: u32) -
         attempt += 1;
         match atomic_write(path, bytes) {
             Ok(()) => return Ok(()),
-            Err(e) if attempt < attempts => {
-                eprintln!(
-                    "[mhg-ckpt] write {} failed on attempt {attempt}/{attempts}: {e}; retrying",
-                    path.display()
-                );
+            Err(_) if attempt < attempts => {
+                WRITE_RETRIES.fetch_add(1, Ordering::Relaxed);
                 backoff(attempt);
             }
             Err(e) => return Err(e),
@@ -142,8 +151,14 @@ mod tests {
                 .inject(FaultSite::IoWrite, 1)
                 .inject(FaultSite::IoWrite, 2),
         );
+        let retries_before = write_retries();
         atomic_write_retry(&path, b"survived", 3).unwrap();
         mhg_faults::clear();
+        assert_eq!(
+            write_retries() - retries_before,
+            2,
+            "both absorbed faults must be counted"
+        );
         assert_eq!(read_file(&path).unwrap(), b"survived");
         fs::remove_file(&path).ok();
     }

@@ -23,7 +23,9 @@ mod checkpoint;
 mod codec;
 mod error;
 
-pub use atomic::{atomic_write, atomic_write_retry, read_file, DEFAULT_WRITE_ATTEMPTS};
+pub use atomic::{
+    atomic_write, atomic_write_retry, read_file, write_retries, DEFAULT_WRITE_ATTEMPTS,
+};
 pub use checkpoint::Checkpointer;
 pub use codec::{decode, encode, fnv1a64, StateDict, Value};
 pub use error::CkptError;

@@ -1,0 +1,115 @@
+//! Hand-computed oracle tests for the ranking and statistics metrics.
+//!
+//! Unlike the property tests, every expected value here was derived by hand
+//! (or by elementary arithmetic) from the metric definitions, so a
+//! regression in the formulas themselves — not just their invariants —
+//! fails loudly. Covers Recall@K (hit ratio), NDCG@K, and Welch's t-test,
+//! including the tie and empty-ground-truth edge cases.
+
+use mhg_eval::{rank_candidates, topk_metrics, welch_t_test, RankedQuery};
+
+const TOL: f64 = 1e-12;
+
+/// ranked = [rel, irr, rel], 2 relevants, K = 3:
+/// DCG  = 1/log2(2) + 1/log2(4)          = 1.5
+/// IDCG = 1/log2(2) + 1/log2(3)          = 1.63092975...
+/// NDCG = 1.5 / IDCG                     = 0.91972078...
+#[test]
+fn ndcg_hand_computed() {
+    let q = RankedQuery {
+        ranked: vec![true, false, true],
+        num_relevant: 2,
+    };
+    assert!((q.ndcg_at(3) - 0.919_720_789_148_187_6).abs() < TOL);
+}
+
+/// ranked = [rel, irr, rel, irr, rel], 3 relevants, K = 4: only the first
+/// two relevants land in the window.
+/// hits@4 = 2 ⇒ precision = 2/4, recall = 2/3
+/// DCG  = 1 + 0.5 = 1.5;  IDCG = 1 + 1/log2(3) + 0.5
+/// NDCG = 0.70391808...
+#[test]
+fn truncated_window_hand_computed() {
+    let q = RankedQuery {
+        ranked: vec![true, false, true, false, true],
+        num_relevant: 3,
+    };
+    assert!((q.precision_at(4) - 0.5).abs() < TOL);
+    assert!((q.hit_ratio_at(4) - 2.0 / 3.0).abs() < TOL);
+    assert!((q.ndcg_at(4) - 0.703_918_089_034_134_7).abs() < TOL);
+}
+
+/// Recall@K with more relevants than the window can hold: ranked =
+/// [irr, rel], 4 relevants total (candidate list truncated), K = 2 ⇒
+/// recall = 1/4, regardless of the truncation.
+#[test]
+fn recall_with_truncated_candidates() {
+    let q = RankedQuery {
+        ranked: vec![false, true],
+        num_relevant: 4,
+    };
+    assert!((q.hit_ratio_at(2) - 0.25).abs() < TOL);
+}
+
+/// Tied scores: `rank_candidates` sorts by descending score with a stable
+/// sort, so equal-score candidates keep their input order. The relevant
+/// item listed second among the tie stays second — precision@1 sees only
+/// the first.
+#[test]
+fn ties_resolve_by_stable_input_order() {
+    let q = rank_candidates(vec![(0.5, false), (0.5, true), (0.1, false)], 1);
+    assert_eq!(q.ranked, vec![false, true, false]);
+    assert_eq!(q.precision_at(1), 0.0);
+    assert!((q.precision_at(2) - 0.5).abs() < TOL);
+    // Swapping the tied pair flips the @1 outcome: order within ties is
+    // the caller's responsibility, not hidden nondeterminism.
+    let swapped = rank_candidates(vec![(0.5, true), (0.5, false), (0.1, false)], 1);
+    assert_eq!(swapped.precision_at(1), 1.0);
+}
+
+/// Empty ground truth: all metrics are defined as 0 for a query with no
+/// relevant items, and aggregation skips such queries entirely.
+#[test]
+fn empty_ground_truth_is_zero_and_skipped() {
+    let empty = RankedQuery {
+        ranked: vec![false, false, false],
+        num_relevant: 0,
+    };
+    assert_eq!(empty.hit_ratio_at(3), 0.0);
+    assert_eq!(empty.ndcg_at(3), 0.0);
+    assert_eq!(empty.precision_at(3), 0.0);
+
+    let scored = RankedQuery {
+        ranked: vec![true, false],
+        num_relevant: 1,
+    };
+    let m = topk_metrics(&[empty.clone(), scored], 2);
+    // The empty query must not drag the mean down: only one query counts.
+    assert_eq!(m.num_queries, 1);
+    assert!((m.precision - 0.5).abs() < TOL);
+    assert!((m.hit_ratio - 1.0).abs() < TOL);
+
+    let none = topk_metrics(&[empty], 2);
+    assert_eq!(none.num_queries, 0);
+    assert_eq!(none.precision, 0.0);
+}
+
+/// Welch's t-test on a = [10, 10.1, 9.9] vs b = [9, 9.1, 8.9]:
+/// means 10 and 9, both variances 0.01, so
+/// t  = 1 / sqrt(0.01/3 + 0.01/3) = sqrt(150) = 12.2474487...
+/// df = se⁴ / (2·(0.01/3)²/2)     = 4 exactly (equal variances/sizes).
+#[test]
+fn welch_t_test_hand_computed() {
+    let a = [10.0, 10.1, 9.9];
+    let b = [9.0, 9.1, 8.9];
+    let r = welch_t_test(&a, &b).expect("both samples have n ≥ 2");
+    assert!((r.t - 150.0_f64.sqrt()).abs() < 1e-9, "t {}", r.t);
+    assert!((r.df - 4.0).abs() < 1e-9, "df {}", r.df);
+    // t = 12.25 at 4 degrees of freedom is far beyond the p = 0.01
+    // two-tailed critical value (4.604).
+    assert!(r.p_two_tailed < 1e-3, "p {}", r.p_two_tailed);
+    // Orientation: positive t when mean(a) > mean(b), and antisymmetric.
+    let flipped = welch_t_test(&b, &a).expect("valid");
+    assert!((r.t + flipped.t).abs() < 1e-9);
+    assert!((r.p_two_tailed - flipped.p_two_tailed).abs() < TOL);
+}

@@ -248,14 +248,16 @@ fn ensure_env_bootstrap() {
         };
         match FaultPlan::parse(&spec) {
             Ok(plan) if !plan.is_empty() => {
-                eprintln!("[mhg-faults] MHG_FAULTS active: {plan:?}");
                 // Only bootstrap if nothing was installed programmatically.
+                // Activation is visible through `is_active` / `fired` (the
+                // observability layer reports it) rather than stderr noise.
                 if lock_active().is_none() {
                     install(plan);
                 }
             }
-            Ok(_) => {}
-            Err(e) => eprintln!("[mhg-faults] ignoring MHG_FAULTS: {e}"),
+            // A malformed spec is ignored; `is_active()` stays false, which
+            // the fault-matrix CI legs would surface immediately.
+            Ok(_) | Err(_) => {}
         }
     });
 }
@@ -276,8 +278,9 @@ pub fn should_inject(site: FaultSite) -> bool {
     state.counters[idx] += 1;
     let occurrence = state.counters[idx];
     if state.plan.schedule[idx].contains(&occurrence) {
+        // The injection is recorded in `fired` for the observability
+        // layer's summary; no direct stderr reporting from this crate.
         state.fired.push((site, occurrence));
-        eprintln!("[mhg-faults] injecting {site} at occurrence {occurrence}");
         true
     } else {
         false

@@ -10,8 +10,8 @@ use mhg_datasets::LabeledEdge;
 use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, NodeTypeId, RelationId};
 use mhg_models::{EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport};
 use mhg_sampling::{
-    derive_seed, pairs_from_walk, sharded_over, InterRelationshipExplorer, MetapathNeighborSampler,
-    MetapathWalker, NegativeSampler, Pair, UniformNeighborSampler,
+    derive_seed, pairs_from_walk, sharded_over_obs, InterRelationshipExplorer,
+    MetapathNeighborSampler, MetapathWalker, NegativeSampler, Pair, UniformNeighborSampler,
 };
 use mhg_tensor::{InitKind, Tensor};
 use mhg_train::{pair_batches, BatchLoss, PairExample, TrainStep};
@@ -550,7 +550,8 @@ impl LinkPredictor for HybridGnn {
                         .filter(|&start| graph.degree(start, r) > 0)
                         .collect();
                     let stream = ((r.index() as u64) << 32) | shape_idx as u64;
-                    tagged.extend(sharded_over(
+                    tagged.extend(sharded_over_obs(
+                        &common.obs,
                         derive_seed(base, stream),
                         &starts,
                         |shard, rng| {

@@ -32,6 +32,10 @@
 //!   results) must go through `mhg_ckpt::atomic_write`, which stages to a
 //!   temp file, fsyncs and renames — a direct write can be torn by a crash
 //!   and is invisible to the fault-injection schedule.
+//! * **no-eprintln** — no raw `eprintln!` outside `crates/obs` and binary
+//!   entry points. All progress reporting and diagnostics go through the
+//!   `mhg-obs` registry and sinks (`Obs::note`, events, the stderr
+//!   summary), so human output and `metrics.jsonl` can never disagree.
 //!
 //! Findings that are individually justified live in the `lint.allow` file at
 //! the workspace root; see [`parse_allowlist`] for the format. The scanner is
@@ -63,6 +67,8 @@ pub enum Rule {
     RawThread,
     /// Direct file write bypassing `mhg_ckpt::atomic_write`.
     RawFileWrite,
+    /// Raw `eprintln!` bypassing the `mhg-obs` sinks.
+    NoEprintln,
 }
 
 impl Rule {
@@ -77,6 +83,7 @@ impl Rule {
             Rule::EpochLoop => "epoch-loop",
             Rule::RawThread => "raw-thread",
             Rule::RawFileWrite => "raw-file-write",
+            Rule::NoEprintln => "no-eprintln",
         }
     }
 }
@@ -128,6 +135,8 @@ pub struct FileClass {
     pub raw_thread: bool,
     /// Raw-file-write rule applies.
     pub raw_file_write: bool,
+    /// No-eprintln rule applies.
+    pub no_eprintln: bool,
 }
 
 /// Crates whose forward/training path must never read the wall clock.
@@ -147,7 +156,7 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
     if !tail.starts_with("src/") {
         return None;
     }
-    let is_bin = tail.starts_with("src/bin/");
+    let is_bin = tail.starts_with("src/bin/") || tail == "src/main.rs";
     Some(FileClass {
         no_panic: !is_bin,
         unseeded_rng: true,
@@ -158,6 +167,7 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
         epoch_loop: krate != "train",
         raw_thread: krate != "par" && krate != "train",
         raw_file_write: krate != "ckpt",
+        no_eprintln: krate != "obs" && !is_bin,
     })
 }
 
@@ -383,6 +393,11 @@ const PATTERNS: &[(Rule, &str, &str)] = &[
         "fs::write",
         "raw file write — route persistence through `mhg_ckpt::atomic_write`",
     ),
+    (
+        Rule::NoEprintln,
+        "eprintln!",
+        "raw `eprintln!` — route reporting through the `mhg-obs` registry/sinks",
+    ),
 ];
 
 fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
@@ -395,6 +410,7 @@ fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
         Rule::EpochLoop => class.epoch_loop,
         Rule::RawThread => class.raw_thread,
         Rule::RawFileWrite => class.raw_file_write,
+        Rule::NoEprintln => class.no_eprintln,
     }
 }
 

@@ -66,6 +66,34 @@ fn write_fixture_fires_raw_file_write_outside_ckpt() {
 }
 
 #[test]
+fn eprintln_fixture_fires_outside_obs_and_bins() {
+    let src = include_str!("fixtures/bad_eprintln.rs");
+    // Two raw eprintln!s outside tests; the #[cfg(test)] one is exempt.
+    let fired = rules_fired("crates/train/src/bad_eprintln.rs", src);
+    assert_eq!(count(&fired, Rule::NoEprintln), 2, "diagnostics: {fired:?}");
+    // The obs crate owns the stderr sink and is exempt.
+    let in_obs = rules_fired("crates/obs/src/bad_eprintln.rs", src);
+    assert_eq!(
+        count(&in_obs, Rule::NoEprintln),
+        0,
+        "diagnostics: {in_obs:?}"
+    );
+    // Binary entry points talk to humans directly and are exempt.
+    let in_bin = rules_fired("crates/bench/src/bin/bad_eprintln.rs", src);
+    assert_eq!(
+        count(&in_bin, Rule::NoEprintln),
+        0,
+        "diagnostics: {in_bin:?}"
+    );
+    let in_main = rules_fired("crates/lint/src/main.rs", src);
+    assert_eq!(
+        count(&in_main, Rule::NoEprintln),
+        0,
+        "diagnostics: {in_main:?}"
+    );
+}
+
+#[test]
 fn rng_fixture_fires_unseeded_rng() {
     let fired = rules_fired(
         "crates/sampling/src/bad_rng.rs",

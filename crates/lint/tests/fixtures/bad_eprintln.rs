@@ -1,0 +1,18 @@
+//! Fixture: raw stderr reporting that bypasses the `mhg-obs` sinks.
+
+pub fn report_progress(epoch: usize, loss: f32) {
+    // Human output that never reaches metrics.jsonl — the two can disagree.
+    eprintln!("epoch {epoch}: loss {loss:.4}");
+}
+
+pub fn warn_slow() {
+    eprintln!("warning: sampler is slow");
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may print debug context directly.
+    fn debug_dump(v: &[f32]) {
+        eprintln!("values: {v:?}");
+    }
+}

@@ -9,6 +9,7 @@ use mhg_tensor::Tensor;
 use mhg_train::TrainOptions;
 use rand::rngs::StdRng;
 
+pub use mhg_obs::{EventValue, Obs, ObsConfig};
 pub use mhg_train::{
     pair_budget, EarlyStopper, RecoveryCounters, StopDecision, TimingBreakdown, TrainError,
     TrainReport,
@@ -69,6 +70,12 @@ pub struct CommonConfig {
     /// Resume from the latest checkpoint in `checkpoint_dir` before
     /// training. A resumed run is bit-identical to an uninterrupted one.
     pub resume: bool,
+    /// Observability handle threaded into the training pipeline and the
+    /// walk sampler: per-epoch metrics, stage spans, recovery events.
+    /// Defaults to whatever the `MHG_OBS` environment variable configures
+    /// (nothing, when unset). Recording never changes a result: metrics
+    /// are clock/atomic side channels outside every RNG stream.
+    pub obs: Obs,
 }
 
 impl Default for CommonConfig {
@@ -88,6 +95,7 @@ impl Default for CommonConfig {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume: false,
+            obs: Obs::from_env(),
         }
     }
 }
@@ -110,6 +118,7 @@ impl CommonConfig {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume: false,
+            obs: Obs::from_env(),
         }
     }
 
@@ -123,6 +132,7 @@ impl CommonConfig {
             checkpoint_every: self.checkpoint_every,
             checkpoint_dir: self.checkpoint_dir.clone(),
             resume: self.resume,
+            obs: self.obs.clone(),
         }
     }
 }

@@ -5,7 +5,7 @@
 //! with negative sampling. One shared embedding per node.
 
 use mhg_graph::{NodeId, RelationId};
-use mhg_sampling::{pairs_from_walk, sharded_over, NegativeSampler, Pair, UniformWalker};
+use mhg_sampling::{pairs_from_walk, sharded_over_obs, NegativeSampler, Pair, UniformWalker};
 use mhg_train::pair_batches;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -60,20 +60,21 @@ impl LinkPredictor for DeepWalk {
         // shuffle keeps the SGD pair order random.
         let sample = |_epoch: usize, rng: &mut StdRng| {
             let base: u64 = rng.gen();
-            let mut tagged: Vec<(Pair, RelationId)> = sharded_over(base, &starts, |shard, rng| {
-                let mut out = Vec::new();
-                for &start in shard {
-                    for _ in 0..cfg.walks_per_node {
-                        let walk = walker.walk(start, cfg.walk_length, rng);
-                        out.extend(
-                            pairs_from_walk(&walk, cfg.window)
-                                .into_iter()
-                                .map(|p| (p, RelationId(0))),
-                        );
+            let mut tagged: Vec<(Pair, RelationId)> =
+                sharded_over_obs(&cfg.obs, base, &starts, |shard, rng| {
+                    let mut out = Vec::new();
+                    for &start in shard {
+                        for _ in 0..cfg.walks_per_node {
+                            let walk = walker.walk(start, cfg.walk_length, rng);
+                            out.extend(
+                                pairs_from_walk(&walk, cfg.window)
+                                    .into_iter()
+                                    .map(|p| (p, RelationId(0))),
+                            );
+                        }
                     }
-                }
-                out
-            });
+                    out
+                });
             tagged.shuffle(rng);
             Ok(pair_batches(
                 graph,

@@ -29,8 +29,9 @@ mod rgcn;
 mod sgns;
 
 pub use common::{
-    pair_budget, val_auc, CommonConfig, EarlyStopper, EmbeddingScores, FitData, LinkPredictor,
-    RecoveryCounters, StopDecision, TimingBreakdown, TrainError, TrainReport,
+    pair_budget, val_auc, CommonConfig, EarlyStopper, EmbeddingScores, EventValue, FitData,
+    LinkPredictor, Obs, ObsConfig, RecoveryCounters, StopDecision, TimingBreakdown, TrainError,
+    TrainReport,
 };
 pub use deepwalk::DeepWalk;
 pub use evaluate::{evaluate, ranking_queries, ModelMetrics};

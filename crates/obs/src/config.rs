@@ -1,0 +1,115 @@
+//! Observability configuration: the `MHG_OBS` environment contract and the
+//! builder every CLI / harness flag path goes through.
+
+use std::path::PathBuf;
+
+use crate::clock::{Clock, FakeClock, RealClock};
+use crate::Obs;
+
+/// Where and how a run's metrics are recorded. Build one with
+/// [`ObsConfig::from_env`] (the `MHG_OBS` contract) or field-by-field, then
+/// call [`ObsConfig::build`].
+///
+/// `MHG_OBS` is a comma-separated token list:
+///
+/// * `jsonl=<path>` — on [`Obs::finish`], write events + a registry
+///   snapshot as JSON lines to `<path>` (atomically, through
+///   `mhg_ckpt::atomic_write`);
+/// * `summary` — print a human metric summary to stderr on finish;
+/// * `notes` — mirror progress notes to stderr as they happen;
+/// * `stderr` — shorthand for `summary,notes`;
+/// * `fake=<step_ns>` — replace the wall clock with a deterministic
+///   [`FakeClock`] (durations become structural, not temporal);
+///
+/// unknown tokens are ignored so the contract can grow.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// JSONL sink path (`None` = no file output).
+    pub jsonl: Option<PathBuf>,
+    /// Mirror progress notes to stderr as they happen.
+    pub notes: bool,
+    /// Print a metric summary to stderr on finish.
+    pub summary: bool,
+    /// Replace the wall clock with a [`FakeClock`] of this step.
+    pub fake_step_ns: Option<u64>,
+}
+
+impl ObsConfig {
+    /// Parses the `MHG_OBS` environment variable (absent = everything off).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("MHG_OBS").ok().as_deref().unwrap_or(""))
+    }
+
+    /// Parses an `MHG_OBS`-style token list (see the type docs).
+    pub fn parse(spec: &str) -> Self {
+        let mut cfg = Self::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(path) = token.strip_prefix("jsonl=") {
+                cfg.jsonl = Some(PathBuf::from(path));
+            } else if let Some(step) = token.strip_prefix("fake=") {
+                cfg.fake_step_ns = step.parse().ok();
+            } else {
+                match token {
+                    "summary" => cfg.summary = true,
+                    "notes" => cfg.notes = true,
+                    "stderr" => {
+                        cfg.summary = true;
+                        cfg.notes = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        cfg
+    }
+
+    /// Builds the [`Obs`] handle this configuration describes. Recording is
+    /// enabled whenever a sink or the fake clock is configured; the clock
+    /// works either way, so timing reports survive a fully-disabled handle.
+    pub fn build(self) -> Obs {
+        let record = self.jsonl.is_some() || self.summary || self.fake_step_ns.is_some();
+        let clock: Box<dyn Clock> = match self.fake_step_ns {
+            Some(step) => Box::new(FakeClock::new(step)),
+            None => Box::new(RealClock::new()),
+        };
+        Obs::assemble(clock, record, self.notes, self.summary, self.jsonl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_empty_is_all_off() {
+        assert_eq!(ObsConfig::parse(""), ObsConfig::default());
+        let obs = ObsConfig::parse("").build();
+        assert!(!obs.is_recording());
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let cfg = ObsConfig::parse("jsonl=/tmp/m.jsonl, stderr ,fake=500");
+        assert_eq!(cfg.jsonl, Some(PathBuf::from("/tmp/m.jsonl")));
+        assert!(cfg.summary);
+        assert!(cfg.notes);
+        assert_eq!(cfg.fake_step_ns, Some(500));
+    }
+
+    #[test]
+    fn unknown_tokens_are_ignored() {
+        assert_eq!(
+            ObsConfig::parse("wat,notes"),
+            ObsConfig {
+                notes: true,
+                ..ObsConfig::default()
+            }
+        );
+    }
+
+    #[test]
+    fn fake_clock_enables_recording() {
+        assert!(ObsConfig::parse("fake=1000").build().is_recording());
+        assert!(!ObsConfig::parse("notes").build().is_recording());
+    }
+}

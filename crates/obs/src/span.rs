@@ -1,0 +1,89 @@
+//! RAII span timers.
+
+use crate::Obs;
+
+/// Times a region of code. On [`Span::stop_ms`] (or drop) the elapsed
+/// nanoseconds are recorded into the histogram the span is named after.
+///
+/// Spans read the owning [`Obs`] handle's clock even when recording is
+/// disabled, so callers can rely on [`Span::stop_ms`] for timing reports
+/// regardless of sink configuration.
+#[derive(Debug)]
+pub struct Span<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    start_ns: u64,
+    armed: bool,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn begin(obs: &'a Obs, name: &'static str) -> Self {
+        Self {
+            obs,
+            name,
+            start_ns: obs.now_ns(),
+            armed: true,
+        }
+    }
+
+    /// Stops the span, records its duration, and returns it in
+    /// milliseconds.
+    pub fn stop_ms(mut self) -> f64 {
+        self.armed = false;
+        let ns = self.obs.now_ns().saturating_sub(self.start_ns);
+        self.obs.record_duration_ns(self.name, ns);
+        ns as f64 / 1e6
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let ns = self.obs.now_ns().saturating_sub(self.start_ns);
+            self.obs.record_duration_ns(self.name, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MetricValue, Obs};
+
+    #[test]
+    fn leaf_span_measures_one_fake_step() {
+        let obs = Obs::deterministic(1_000);
+        let span = obs.span("t/leaf");
+        let ms = span.stop_ms();
+        assert!((ms - 0.001).abs() < 1e-12, "ms = {ms}");
+        match &obs.metrics()[0].1 {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 1_000);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        let obs = Obs::deterministic(1_000);
+        {
+            let _span = obs.span("t/drop");
+        }
+        match &obs.metrics()[0].1 {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_spans_accumulate_inner_readings() {
+        let obs = Obs::deterministic(1_000);
+        let outer = obs.span("t/outer");
+        obs.span("t/inner").stop_ms();
+        let outer_ms = outer.stop_ms();
+        // Outer saw 3 readings between its start and stop (inner start,
+        // inner stop, outer stop) — 3 steps.
+        assert!((outer_ms - 0.003).abs() < 1e-12, "outer = {outer_ms}");
+    }
+}

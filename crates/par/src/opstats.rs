@@ -1,0 +1,133 @@
+//! Process-global kernel operation counters.
+//!
+//! The tensor kernels (and the pool itself) call [`bump`] on every entry;
+//! the counts feed the observability layer's stderr summary. Counting is
+//! compiled in only under the `checked` feature (the same switch as the
+//! runtime sanitizer) so release training loops pay nothing — without it,
+//! [`bump`] is an empty inline function and [`snapshot`] reads all zeros.
+//!
+//! The counters are deliberately *global* rather than per-`Obs`-handle:
+//! the kernels sit below the observability crate in the dependency graph,
+//! and a handful of relaxed atomics is the entire cost.
+
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "checked")]
+use std::sync::atomic::Ordering;
+
+/// Kernel operations counted by the checked-mode instrumentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelOp {
+    /// `mhg_tensor::ops::matmul`.
+    Matmul,
+    /// `mhg_tensor::ops::matmul_transposed`.
+    MatmulTransposed,
+    /// `mhg_tensor::ops::transpose`.
+    Transpose,
+    /// `mhg_tensor::ops::map`.
+    Map,
+    /// `mhg_tensor::ops::zip_map`.
+    ZipMap,
+    /// `mhg_tensor::ops::softmax_rows`.
+    SoftmaxRows,
+    /// `mhg_tensor::ops::gather_rows`.
+    GatherRows,
+    /// `mhg_tensor::ops::scatter_add_rows`.
+    ScatterAddRows,
+    /// A multi-worker fan-out in the pool (`par_map_collect` et al with
+    /// more than one worker).
+    ParallelJobs,
+}
+
+const N_OPS: usize = 9;
+
+const NAMES: [&str; N_OPS] = [
+    "matmul",
+    "matmul_transposed",
+    "transpose",
+    "map",
+    "zip_map",
+    "softmax_rows",
+    "gather_rows",
+    "scatter_add_rows",
+    "parallel_jobs",
+];
+
+static COUNTS: [AtomicU64; N_OPS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+impl KernelOp {
+    /// The metric name of this op (`matmul`, `zip_map`, …).
+    pub fn name(self) -> &'static str {
+        NAMES[self as usize]
+    }
+}
+
+/// Counts one execution of `op`. No-op unless the `checked` feature is
+/// enabled.
+#[inline]
+pub fn bump(op: KernelOp) {
+    #[cfg(feature = "checked")]
+    COUNTS[op as usize].fetch_add(1, Ordering::Relaxed);
+    #[cfg(not(feature = "checked"))]
+    let _ = op;
+}
+
+/// A point-in-time copy of every op counter as `(name, count)`, in a fixed
+/// order. All zeros unless the `checked` feature is enabled.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    NAMES
+        .iter()
+        .zip(COUNTS.iter())
+        .map(|(name, c)| (*name, c.load(std::sync::atomic::Ordering::Relaxed)))
+        .collect()
+}
+
+/// Resets every op counter to zero (test isolation).
+pub fn reset() {
+    for c in COUNTS.iter() {
+        c.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_every_op_name() {
+        let snap = snapshot();
+        assert_eq!(snap.len(), N_OPS);
+        assert_eq!(snap[0].0, "matmul");
+        assert_eq!(snap[N_OPS - 1].0, "parallel_jobs");
+        assert_eq!(KernelOp::ZipMap.name(), "zip_map");
+    }
+
+    #[cfg(feature = "checked")]
+    #[test]
+    fn bump_counts_under_checked() {
+        // Other tests may bump concurrently; assert a relative increase on
+        // an op nothing else in this crate's tests touches.
+        let before = snapshot()
+            .iter()
+            .find(|(n, _)| *n == "scatter_add_rows")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        bump(KernelOp::ScatterAddRows);
+        bump(KernelOp::ScatterAddRows);
+        let after = snapshot()
+            .iter()
+            .find(|(n, _)| *n == "scatter_add_rows")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert_eq!(after - before, 2);
+    }
+}

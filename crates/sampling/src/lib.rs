@@ -36,5 +36,7 @@ pub use negative::{NegativeSampler, UNIGRAM_POWER};
 pub use neighbors::{LayeredNeighbors, MetapathNeighborSampler, UniformNeighborSampler};
 pub use pairs::{pairs_from_walk, pairs_from_walks, Pair};
 pub use prefetch::run_prefetched;
-pub use shard::{derive_seed, sharded, sharded_over, walk_shards, STARTS_PER_SHARD};
+pub use shard::{
+    derive_seed, sharded, sharded_over, sharded_over_obs, walk_shards, STARTS_PER_SHARD,
+};
 pub use walks::{MetapathWalker, Node2VecWalker, UniformWalker, Walk};

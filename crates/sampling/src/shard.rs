@@ -9,6 +9,7 @@
 //! base seed: bit-identical for any `MHG_THREADS`, exactly like the prefetch
 //! thread in [`run_prefetched`](crate::run_prefetched).
 
+use mhg_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -71,9 +72,38 @@ where
     })
 }
 
+/// [`sharded_over`] with walk-sampler observability: records shard counts,
+/// per-shard occupancy and produced-item totals into `obs`.
+///
+/// The instrumentation is clock-free and touches only relaxed atomics, so
+/// it never perturbs the RNG streams or the output: the result is
+/// bit-identical to [`sharded_over`], and the recorded totals are identical
+/// for any `MHG_THREADS`. Throughput (items per second) is derived
+/// downstream by dividing the `sampling/walk_items` counter by the
+/// pipeline's `train/sample` span time.
+pub fn sharded_over_obs<T, I, F>(obs: &Obs, base_seed: u64, items: &[I], produce: F) -> Vec<T>
+where
+    T: Send,
+    I: Sync,
+    F: Fn(&[I], &mut StdRng) -> Vec<T> + Sync,
+{
+    let shards = walk_shards(items.len());
+    obs.counter_add("sampling/walk_batches", 1);
+    obs.counter_add("sampling/walk_shards", shards as u64);
+    obs.counter_add("sampling/walk_starts", items.len() as u64);
+    let out = sharded(base_seed, shards, |shard, rng| {
+        let range = mhg_par::split_range(items.len(), shards, shard);
+        obs.record_value("sampling/shard_occupancy", range.len() as u64);
+        produce(&items[range], rng)
+    });
+    obs.counter_add("sampling/walk_items", out.len() as u64);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mhg_obs::MetricValue;
     use rand::Rng;
 
     #[test]
@@ -113,5 +143,52 @@ mod tests {
         // Items are preserved in order.
         let got: Vec<u32> = serial.iter().map(|&(v, _)| v).collect();
         assert_eq!(got, items);
+    }
+
+    #[test]
+    fn sharded_over_obs_matches_plain_and_records_thread_invariant_metrics() {
+        let items: Vec<u32> = (0..300).collect();
+        let produce = |shard: &[u32], rng: &mut StdRng| {
+            shard
+                .iter()
+                .map(|&v| (v, rng.gen::<u32>()))
+                .collect::<Vec<_>>()
+        };
+        let plain = mhg_par::with_threads(1, || sharded_over(7, &items, produce));
+        let run = || {
+            let obs = Obs::deterministic(1_000);
+            let out = sharded_over_obs(&obs, 7, &items, produce);
+            (out, obs.render_jsonl())
+        };
+        let (out1, jsonl1) = mhg_par::with_threads(1, run);
+        let (out4, jsonl4) = mhg_par::with_threads(4, run);
+        assert_eq!(out1, plain, "instrumentation must not change the output");
+        assert_eq!(out1, out4);
+        assert_eq!(jsonl1, jsonl4, "metrics must be thread-count invariant");
+
+        let obs = Obs::deterministic(1_000);
+        let out = sharded_over_obs(&obs, 7, &items, produce);
+        let metrics = obs.metrics();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        // 300 items → 5 shards of 60 starts each.
+        assert_eq!(get("sampling/walk_shards"), Some(MetricValue::Counter(5)));
+        assert_eq!(get("sampling/walk_starts"), Some(MetricValue::Counter(300)));
+        assert_eq!(
+            get("sampling/walk_items"),
+            Some(MetricValue::Counter(out.len() as u64))
+        );
+        match get("sampling/shard_occupancy") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 5);
+                assert_eq!(h.sum, 300);
+                assert_eq!(h.max, 60);
+            }
+            other => panic!("expected occupancy histogram, got {other:?}"),
+        }
     }
 }

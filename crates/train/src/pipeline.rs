@@ -2,10 +2,10 @@
 //! plus crash-safe checkpointing and deterministic fault recovery.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
 use mhg_ckpt::{Checkpointer, CkptError, StateDict};
 use mhg_faults::FaultSite;
+use mhg_obs::{EventValue, Obs};
 use mhg_sampling::{run_prefetched, SampleError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,6 +42,11 @@ pub struct TrainOptions {
     /// continuation is bit-identical to an uninterrupted run regardless of
     /// how the resuming process seeded its RNG or re-initialized the model.
     pub resume: bool,
+    /// Observability handle: the loop times its sample/compute/eval/ckpt
+    /// stages through its clock and records per-epoch metrics and recovery
+    /// events into its registry. [`mhg_obs::Obs::disabled`] keeps timing
+    /// functional with zero recording.
+    pub obs: Obs,
 }
 
 /// Loss contribution of one minibatch step.
@@ -108,10 +113,6 @@ pub trait TrainStep {
 pub fn epoch_seed(base: u64, epoch: u64) -> u64 {
     // Same mixer as the per-shard walk seeds; see mhg_sampling::derive_seed.
     mhg_sampling::derive_seed(base, epoch)
-}
-
-fn ms_since(start: Instant) -> f64 {
-    start.elapsed().as_secs_f64() * 1e3
 }
 
 /// Rollback budget for non-finite epoch losses. Injected faults are
@@ -260,6 +261,11 @@ where
             if let Some((epoch, dict)) = c.load_latest()? {
                 restore(&mut st, rng, step, &dict).map_err(TrainError::Checkpoint)?;
                 recovery.resumed_from = Some(epoch);
+                opts.obs
+                    .event("resumed", &[("epoch", EventValue::U64(epoch as u64))]);
+                opts.obs.note(&format!(
+                    "[mhg-train] resumed from checkpoint at epoch {epoch}"
+                ));
             }
         }
     }
@@ -286,11 +292,18 @@ where
             SpanExit::Finished => break,
             SpanExit::SamplerFailed(e) => {
                 if background {
-                    eprintln!(
+                    opts.obs.event(
+                        "sampler_fallback",
+                        &[
+                            ("epoch", EventValue::U64(st.epoch as u64)),
+                            ("error", EventValue::Str(e.to_string())),
+                        ],
+                    );
+                    opts.obs.note(&format!(
                         "[mhg-train] background sampler failed at epoch {}: {e}; \
                          falling back to inline sampling",
                         st.epoch
-                    );
+                    ));
                     recovery.sampler_fallbacks += 1;
                     background = false;
                 } else {
@@ -305,11 +318,15 @@ where
                         rollbacks: recovery.nan_rollbacks - 1,
                     });
                 }
-                eprintln!(
+                opts.obs.event(
+                    "nan_rollback",
+                    &[("epoch", EventValue::U64(st.epoch as u64))],
+                );
+                opts.obs.note(&format!(
                     "[mhg-train] non-finite epoch loss at epoch {}; \
                      rolling back to last good state",
                     st.epoch
-                );
+                ));
                 restore(&mut st, rng, step, &last_good).map_err(TrainError::Checkpoint)?;
             }
         }
@@ -320,9 +337,9 @@ where
         // validation score from the initial parameters, so every report is
         // finalized the same way. (With ≥ 1 epoch the first eval always
         // improves on −∞ and promotes.)
-        let started = Instant::now();
+        let span = opts.obs.span("train/eval");
         let auc = step.eval(rng);
-        st.report.timing.eval_ms += ms_since(started);
+        st.report.timing.eval_ms += span.stop_ms();
         st.stopper.update(auc);
         step.promote();
     }
@@ -333,10 +350,34 @@ where
         // snapshot runs after the stopped flag is set, so it never misses
         // an early stop).
         if last_saved != Some(st.epoch) {
-            c.save(st.epoch, &snapshot(&st, rng, step))?;
+            let snap = snapshot(&st, rng, step);
+            let span = opts.obs.span("train/ckpt");
+            c.save(st.epoch, &snap)?;
+            span.stop_ms();
+            opts.obs
+                .event("checkpoint", &[("epoch", EventValue::U64(st.epoch as u64))]);
         }
     }
     st.report.recovery = recovery;
+    opts.obs.event(
+        "train_end",
+        &[
+            ("epochs_run", EventValue::U64(st.report.epochs_run as u64)),
+            (
+                "final_loss",
+                EventValue::F64(f64::from(st.report.final_loss)),
+            ),
+            ("best_val_auc", EventValue::F64(st.report.best_val_auc)),
+            (
+                "sampler_fallbacks",
+                EventValue::U64(st.report.recovery.sampler_fallbacks as u64),
+            ),
+            (
+                "nan_rollbacks",
+                EventValue::U64(st.report.recovery.nan_rollbacks as u64),
+            ),
+        ],
+    );
     Ok(st.report)
 }
 
@@ -363,13 +404,17 @@ where
     let budget = opts.epochs - start;
     let base = st.base;
 
-    // Sampling stage: timed where it runs (worker thread or inline).
-    let produce = move |offset: usize| -> Result<(Vec<T::Batch>, f64), SampleError> {
+    // Sampling stage: timed where it runs (worker thread or inline). The
+    // duration is measured with raw clock readings, not a span, so the
+    // `train/sample` histogram entry is recorded by the consuming epoch —
+    // a prefetched-but-never-consumed buffer leaves no metric behind.
+    let obs = opts.obs.clone();
+    let produce = move |offset: usize| -> Result<(Vec<T::Batch>, u64), SampleError> {
         let epoch = start + offset;
-        let started = Instant::now();
+        let t0 = obs.now_ns();
         let mut sample_rng = StdRng::seed_from_u64(epoch_seed(base, epoch as u64));
         let batches = sample(epoch, &mut sample_rng)?;
-        Ok((batches, ms_since(started)))
+        Ok((batches, obs.now_ns().saturating_sub(t0)))
     };
 
     if background && budget > 0 {
@@ -407,8 +452,9 @@ where
     }
 }
 
-/// One sampled buffer: the epoch's batches plus the sample-stage wall time.
-type SampledBuffer<B> = Result<(Vec<B>, f64), SampleError>;
+/// One sampled buffer: the epoch's batches plus the sample-stage duration
+/// in nanoseconds (measured on whichever thread ran the recipe).
+type SampledBuffer<B> = Result<(Vec<B>, u64), SampleError>;
 
 /// The span body shared between the inline and background paths: `next`
 /// yields `(batches, sample_ms)` buffers (or a sampling error) until the
@@ -425,11 +471,11 @@ fn pump<T: TrainStep>(
     next: &mut dyn FnMut() -> Option<SampledBuffer<T::Batch>>,
 ) -> Result<SpanExit, TrainError> {
     while let Some(buffer) = next() {
-        let (batches, sample_ms) = match buffer {
+        let (batches, sample_ns) = match buffer {
             Ok(b) => b,
             Err(e) => return Ok(SpanExit::SamplerFailed(e)),
         };
-        let outcome = drive_epoch(step, rng, st, batches, sample_ms);
+        let outcome = drive_epoch(&opts.obs, step, rng, st, batches, sample_ns);
         match outcome {
             EpochOutcome::Diverged => return Ok(SpanExit::Diverged),
             EpochOutcome::Committed | EpochOutcome::Stopped => {
@@ -437,7 +483,13 @@ fn pump<T: TrainStep>(
                 if opts.checkpoint_every > 0 && completed.is_multiple_of(opts.checkpoint_every) {
                     let snap = snapshot(st, rng, step);
                     if let Some(c) = ckpt {
+                        let span = opts.obs.span("train/ckpt");
                         c.save(completed, &snap)?;
+                        span.stop_ms();
+                        opts.obs.event(
+                            "checkpoint",
+                            &[("epoch", EventValue::U64(completed as u64))],
+                        );
                         *last_saved = Some(completed);
                     }
                     *last_good = snap;
@@ -454,24 +506,35 @@ fn pump<T: TrainStep>(
 /// Steps one epoch's batches, validates, and commits the epoch — unless
 /// the epoch loss comes out non-finite, in which case nothing is committed
 /// and the caller rolls back.
+///
+/// All per-epoch timing flows through `obs` spans (satellite of the
+/// `TimingBreakdown` contract): the histogram record and the
+/// `report.timing` accumulation come from the same clock reading.
 fn drive_epoch<T: TrainStep>(
+    obs: &Obs,
     step: &mut T,
     rng: &mut StdRng,
     st: &mut LoopState,
     batches: Vec<T::Batch>,
-    sample_ms: f64,
+    sample_ns: u64,
 ) -> EpochOutcome {
+    obs.record_duration_ns("train/sample", sample_ns);
+    let sample_ms = sample_ns as f64 / 1e6;
     st.report.timing.sample_ms += sample_ms;
 
-    let started = Instant::now();
+    let batch_count = batches.len();
+    let compute = obs.span("train/compute");
     let mut loss_sum = 0.0f64;
     let mut denom = 0usize;
     for batch in batches {
+        let batch_span = obs.span("train/step");
         let loss = step.step(batch, rng);
+        batch_span.stop_ms();
         loss_sum += loss.loss_sum;
         denom += loss.denom;
     }
-    st.report.timing.compute_ms += ms_since(started);
+    let compute_ms = compute.stop_ms();
+    st.report.timing.compute_ms += compute_ms;
 
     let mut epoch_loss = (loss_sum / denom.max(1) as f64) as f32;
     if mhg_faults::should_inject(FaultSite::NanLoss) {
@@ -484,9 +547,33 @@ fn drive_epoch<T: TrainStep>(
     st.report.final_loss = epoch_loss;
     st.epoch += 1;
 
-    let started = Instant::now();
+    let eval_span = obs.span("train/eval");
     let auc = step.eval(rng);
-    st.report.timing.eval_ms += ms_since(started);
+    let eval_ms = eval_span.stop_ms();
+    st.report.timing.eval_ms += eval_ms;
+
+    obs.counter_add("train/epochs", 1);
+    obs.counter_add("train/batches", batch_count as u64);
+    obs.counter_add("train/examples", denom as u64);
+    let examples_per_sec = if compute_ms > 0.0 {
+        denom as f64 * 1e3 / compute_ms
+    } else {
+        0.0
+    };
+    obs.event(
+        "epoch",
+        &[
+            ("epoch", EventValue::U64((st.epoch - 1) as u64)),
+            ("loss", EventValue::F64(f64::from(epoch_loss))),
+            ("batches", EventValue::U64(batch_count as u64)),
+            ("examples", EventValue::U64(denom as u64)),
+            ("sample_ms", EventValue::F64(sample_ms)),
+            ("compute_ms", EventValue::F64(compute_ms)),
+            ("eval_ms", EventValue::F64(eval_ms)),
+            ("examples_per_sec", EventValue::F64(examples_per_sec)),
+            ("val_auc", EventValue::F64(auc)),
+        ],
+    );
     match st.stopper.update(auc) {
         StopDecision::Improved => {
             step.promote();
@@ -615,6 +702,7 @@ mod tests {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume: false,
+            obs: Obs::disabled(),
         }
     }
 

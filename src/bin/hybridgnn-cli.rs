@@ -64,6 +64,7 @@ const USAGE: &str = "usage: hybridgnn-cli <generate|stats|train|recommend> [flag
   train     --graph <file.mhg> --out <file.emb> [--epochs n] [--dim n]
             [--seed n] [--shapes type-type-type,...]
             [--checkpoint-dir dir] [--checkpoint-every n] [--resume true]
+            [--metrics-out <file.jsonl>]
   recommend --graph <file.mhg> --model <file.emb> --node <id>
             --relation <name> [--k n]";
 
@@ -159,6 +160,12 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     if config.common.checkpoint_dir.is_some() && config.common.checkpoint_every == 0 {
         config.common.checkpoint_every = 1;
     }
+    if let Some(path) = flags.get("metrics-out") {
+        let mut oc = hybridgnn_repro::obs::ObsConfig::from_env();
+        oc.jsonl = Some(PathBuf::from(path));
+        config.common.obs = oc.build();
+    }
+    let obs = config.common.obs.clone();
     let mut model = HybridGnn::new(config);
     let report = model
         .fit(
@@ -192,6 +199,9 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
 
     save_embeddings(&model, &graph, &out)?;
     println!("wrote embeddings to {}", out.display());
+    if let Some(path) = obs.finish().map_err(|e| e.to_string())? {
+        println!("metrics written to {}", path.display());
+    }
     Ok(())
 }
 

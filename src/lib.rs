@@ -17,6 +17,8 @@
 //! * [`ckpt`] — versioned, checksummed, atomically-written training
 //!   checkpoints (see DESIGN.md §2.11).
 //! * [`faults`] — the deterministic fault-injection harness (`MHG_FAULTS`).
+//! * [`obs`] — counters, histograms, span timers and the `metrics.jsonl`
+//!   sink (`MHG_OBS`, `--metrics-out`; see DESIGN.md §2.12).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -28,6 +30,7 @@ pub use mhg_eval as eval;
 pub use mhg_faults as faults;
 pub use mhg_graph as graph;
 pub use mhg_models as models;
+pub use mhg_obs as obs;
 pub use mhg_par as par;
 pub use mhg_sampling as sampling;
 pub use mhg_tensor as tensor;

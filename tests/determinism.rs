@@ -101,6 +101,51 @@ fn hybridgnn_hash(background: bool) -> u64 {
 const DEEPWALK_GOLDEN: u64 = 0x3efb_bf03_adea_3a51;
 const HYBRIDGNN_GOLDEN: u64 = 0x5ba1_2d5b_9c5c_91de;
 
+/// FNV-1a over raw bytes (for hashing a rendered `metrics.jsonl`).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The [`hybridgnn_hash`] recipe instrumented with a deterministic fake
+/// clock (`Obs::deterministic`, 1ms per reading); returns the rendered
+/// `metrics.jsonl` text instead of the embedding hash.
+fn hybridgnn_metrics_jsonl(background: bool) -> String {
+    let dataset = DatasetKind::Amazon.generate(0.004, 9);
+    let mut rng = StdRng::seed_from_u64(9);
+    let split = EdgeSplit::default_split(&dataset.graph, &mut rng);
+    let mut cfg = HybridConfig {
+        common: CommonConfig::fast(),
+        ..HybridConfig::default()
+    };
+    cfg.common.epochs = 2;
+    cfg.common.dim = 16;
+    cfg.common.background_sampling = background;
+    let obs = hybridgnn_repro::obs::Obs::deterministic(1_000_000);
+    cfg.common.obs = obs.clone();
+    let mut model = HybridGnn::new(cfg);
+    let data = FitData {
+        graph: &split.train_graph,
+        metapath_shapes: &dataset.metapath_shapes,
+        val: &split.val,
+    };
+    let report = model.fit(&data, &mut rng).expect("fit must succeed");
+    assert!(report.epochs_run > 0, "HybridGNN ran zero epochs");
+    obs.render_jsonl()
+}
+
+/// Pinned from the 2-epoch HybridGNN run above under the fake clock; the
+/// rendered metrics.jsonl contains only durations (never absolute
+/// timestamps) and is recorded from deterministic coordinating threads, so
+/// it must be byte-identical across reruns, `MHG_THREADS` values, and the
+/// background-sampling toggle. Re-pin only when the instrumentation schema
+/// changes on purpose.
+const METRICS_GOLDEN: u64 = 0xc3ca_b3bd_c0fc_f6dc;
+
 /// A fresh, empty checkpoint directory unique to `tag` (and this process).
 fn fresh_ckpt_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("mhg_resume_{tag}_{}", std::process::id()));
@@ -217,6 +262,40 @@ fn hybridgnn_split_hash(background: bool, tag: &str) -> u64 {
     }
     let _ = std::fs::remove_dir_all(&dir);
     fnv1a(bits.into_iter())
+}
+
+#[test]
+fn hybridgnn_metrics_jsonl_is_byte_identical_across_threads_and_modes() {
+    // Fault injection rewrites the event stream (nan_rollback / retry
+    // events) by design; the golden only holds on the clean path.
+    if hybridgnn_repro::faults::is_active() {
+        return;
+    }
+    let base = hybridgnn_repro::par::with_threads(1, || hybridgnn_metrics_jsonl(false));
+    assert!(
+        base.lines().any(|l| l.contains("\"event\":\"epoch\"")),
+        "metrics.jsonl must contain per-epoch events:\n{base}"
+    );
+    assert!(
+        !base.contains("\"loss\":null"),
+        "non-finite loss leaked into the golden run:\n{base}"
+    );
+    for (threads, background) in [(1, true), (4, false), (4, true)] {
+        let other =
+            hybridgnn_repro::par::with_threads(threads, || hybridgnn_metrics_jsonl(background));
+        assert_eq!(
+            base, other,
+            "metrics.jsonl changed under threads={threads}, background={background}"
+        );
+    }
+    let rerun = hybridgnn_repro::par::with_threads(1, || hybridgnn_metrics_jsonl(false));
+    assert_eq!(base, rerun, "metrics.jsonl not reproducible across reruns");
+    assert_eq!(
+        fnv1a_bytes(base.as_bytes()),
+        METRICS_GOLDEN,
+        "metrics.jsonl drifted from the golden hash: got {:#018x}\n{base}",
+        fnv1a_bytes(base.as_bytes())
+    );
 }
 
 #[test]
