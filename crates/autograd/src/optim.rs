@@ -6,7 +6,7 @@
 //! implementation would treat `sparse=True` embedding gradients and keeps an
 //! epoch over a 100k-node table tractable on CPU.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mhg_tensor::Tensor;
 
@@ -96,7 +96,7 @@ pub struct Adam {
     beta1: f32,
     beta2: f32,
     eps: f32,
-    states: HashMap<ParamId, AdamState>,
+    states: BTreeMap<ParamId, AdamState>,
 }
 
 impl Adam {
@@ -114,7 +114,7 @@ impl Adam {
             beta1,
             beta2,
             eps,
-            states: HashMap::new(),
+            states: BTreeMap::new(),
         }
     }
 
@@ -128,10 +128,10 @@ impl Adam {
     }
 
     /// Serialises every per-parameter moment estimate into `dict` under
-    /// `prefix` (ids sorted, so the encoding is deterministic).
+    /// `prefix` (the state map is ordered by id, so the encoding is
+    /// deterministic).
     pub fn export_state(&self, prefix: &str, dict: &mut mhg_ckpt::StateDict) {
-        let mut ids: Vec<u32> = self.states.keys().map(|id| id.0).collect();
-        ids.sort_unstable();
+        let ids: Vec<u32> = self.states.keys().map(|id| id.0).collect();
         dict.put_u64s(
             format!("{prefix}/ids"),
             ids.iter().map(|&i| u64::from(i)).collect(),
@@ -156,7 +156,7 @@ impl Adam {
         dict: &mhg_ckpt::StateDict,
     ) -> Result<(), mhg_ckpt::CkptError> {
         let ids = dict.u64s(&format!("{prefix}/ids"))?.to_vec();
-        let mut states = HashMap::new();
+        let mut states = BTreeMap::new();
         for raw64 in ids {
             let raw = u32::try_from(raw64).map_err(|_| {
                 mhg_ckpt::CkptError::WrongType(format!("{prefix}/ids entry {raw64}"))

@@ -6,13 +6,13 @@
 //! Gradients accumulate into a [`GradStore`], which keeps embedding-table
 //! gradients sparse (per-row) — the optimizer then only updates touched rows.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use mhg_tensor::Tensor;
 
 /// Identifier of a parameter tensor inside a [`ParamStore`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ParamId(pub(crate) u32);
 
 impl ParamId {
@@ -148,8 +148,9 @@ pub enum Grad {
     Rows {
         /// Width of every gradient row.
         cols: usize,
-        /// Accumulated row gradients.
-        rows: HashMap<usize, Vec<f32>>,
+        /// Accumulated row gradients (ordered, so iteration order —
+        /// and anything serialized or reduced from it — is deterministic).
+        rows: BTreeMap<usize, Vec<f32>>,
     },
 }
 
@@ -187,7 +188,7 @@ impl Grad {
 /// Accumulated gradients for a training step, keyed by [`ParamId`].
 #[derive(Default, Debug)]
 pub struct GradStore {
-    grads: HashMap<ParamId, Grad>,
+    grads: BTreeMap<ParamId, Grad>,
 }
 
 impl GradStore {
@@ -238,7 +239,7 @@ impl GradStore {
                 }
             }
             None => {
-                let mut rows = HashMap::new();
+                let mut rows = BTreeMap::new();
                 rows.insert(row, grad_row.to_vec());
                 self.grads.insert(
                     id,
@@ -266,7 +267,7 @@ impl GradStore {
     /// Panics if `indices.len() != grad.rows()` or the width mismatches an
     /// existing gradient for `id`.
     pub fn accumulate_gather(&mut self, id: ParamId, indices: &[u32], grad: &Tensor) {
-        use std::collections::hash_map::Entry;
+        use std::collections::btree_map::Entry;
         assert_eq!(
             indices.len(),
             grad.rows(),
@@ -288,7 +289,7 @@ impl GradStore {
             .max()
             .map_or(0, |m| m + 1);
         let partials = mhg_par::par_partitions(span, indices.len() * (cols + 1), |range| {
-            let mut map: HashMap<usize, Vec<f32>> = HashMap::new();
+            let mut map: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
             for (r, &idx) in indices.iter().enumerate() {
                 let idx = idx as usize;
                 if range.contains(&idx) {
@@ -302,7 +303,7 @@ impl GradStore {
         });
         match self.grads.entry(id).or_insert_with(|| Grad::Rows {
             cols,
-            rows: HashMap::new(),
+            rows: BTreeMap::new(),
         }) {
             // Unreachable in practice (handled above), but kept correct.
             Grad::Dense(existing) => existing.scatter_add_rows(indices, grad),

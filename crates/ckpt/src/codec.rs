@@ -171,20 +171,39 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Checked narrowing of a size to a `u32` wire field: a count that does not
+/// fit would silently wrap and corrupt the archive, so fail loudly instead.
+fn size_u32(n: usize, what: &str) -> u32 {
+    assert!(
+        u32::try_from(n).is_ok(),
+        "encode: {what} {n} exceeds the u32 wire format"
+    );
+    n as u32
+}
+
+/// Checked narrowing of a size to a `u16` wire field.
+fn size_u16(n: usize, what: &str) -> u16 {
+    assert!(
+        u16::try_from(n).is_ok(),
+        "encode: {what} {n} exceeds the u16 wire format"
+    );
+    n as u16
+}
+
 /// Serialises a dictionary to its versioned, checksummed binary form.
 pub fn encode(dict: &StateDict) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + 16 * dict.len());
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+    out.extend_from_slice(&size_u32(dict.len(), "entry count").to_le_bytes());
     for (name, value) in dict.iter() {
-        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(&size_u16(name.len(), "name length").to_le_bytes());
         out.extend_from_slice(name.as_bytes());
         match value {
             Value::Tensor(t) => {
                 out.push(TAG_TENSOR);
-                out.extend_from_slice(&(t.rows() as u32).to_le_bytes());
-                out.extend_from_slice(&(t.cols() as u32).to_le_bytes());
+                out.extend_from_slice(&size_u32(t.rows(), "tensor rows").to_le_bytes());
+                out.extend_from_slice(&size_u32(t.cols(), "tensor cols").to_le_bytes());
                 for v in t.as_slice() {
                     out.extend_from_slice(&v.to_bits().to_le_bytes());
                 }
@@ -199,14 +218,14 @@ pub fn encode(dict: &StateDict) -> Vec<u8> {
             }
             Value::U64s(vs) => {
                 out.push(TAG_U64S);
-                out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+                out.extend_from_slice(&size_u32(vs.len(), "u64 array length").to_le_bytes());
                 for v in vs {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
             }
             Value::Bytes(bs) => {
                 out.push(TAG_BYTES);
-                out.extend_from_slice(&(bs.len() as u32).to_le_bytes());
+                out.extend_from_slice(&size_u32(bs.len(), "byte payload length").to_le_bytes());
                 out.extend_from_slice(bs);
             }
         }

@@ -48,6 +48,26 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Checked narrowing of a count to a `u32` wire field: a graph too large
+/// for the format must fail loudly instead of wrapping into a corrupt
+/// snapshot.
+fn size_u32(n: usize, what: &str) -> u32 {
+    assert!(
+        u32::try_from(n).is_ok(),
+        "encode: {what} {n} exceeds the u32 snapshot format"
+    );
+    n as u32
+}
+
+/// Checked narrowing of a count to a `u16` wire field.
+fn size_u16(n: usize, what: &str) -> u16 {
+    assert!(
+        u16::try_from(n).is_ok(),
+        "encode: {what} {n} exceeds the u16 snapshot format"
+    );
+    n as u16
+}
+
 /// Serialises a graph to bytes.
 pub fn encode(graph: &MultiplexGraph) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + graph.num_nodes() * 6 + graph.num_edges() * 10);
@@ -58,19 +78,19 @@ pub fn encode(graph: &MultiplexGraph) -> Bytes {
     put_str_list(&mut buf, schema.node_type_names());
     put_str_list(&mut buf, schema.relation_names());
 
-    buf.put_u32_le(graph.num_nodes() as u32);
+    buf.put_u32_le(size_u32(graph.num_nodes(), "node count"));
     for v in graph.nodes() {
         buf.put_u16_le(graph.node_type(v).0);
     }
 
     for csr in graph.adjacency() {
         let offsets = csr.offsets();
-        buf.put_u32_le(offsets.len() as u32);
+        buf.put_u32_le(size_u32(offsets.len(), "CSR offset count"));
         for &o in offsets {
             buf.put_u32_le(o);
         }
         let targets = csr.targets();
-        buf.put_u32_le(targets.len() as u32);
+        buf.put_u32_le(size_u32(targets.len(), "CSR target count"));
         for &t in targets {
             buf.put_u32_le(t.0);
         }
@@ -179,9 +199,9 @@ pub fn load(path: impl AsRef<Path>) -> io::Result<MultiplexGraph> {
 }
 
 fn put_str_list(buf: &mut BytesMut, items: &[String]) {
-    buf.put_u16_le(items.len() as u16);
+    buf.put_u16_le(size_u16(items.len(), "string-list length"));
     for s in items {
-        buf.put_u16_le(s.len() as u16);
+        buf.put_u16_le(size_u16(s.len(), "string length"));
         buf.put_slice(s.as_bytes());
     }
 }

@@ -53,7 +53,8 @@ impl GraphStats {
         let mut connected_pairs = 0usize;
         let relations: Vec<RelationId> = schema.relations().collect();
         // Collect each undirected pair once across relations.
-        let mut seen: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+        let mut seen: std::collections::BTreeMap<(u32, u32), u32> =
+            std::collections::BTreeMap::new();
         for &r in &relations {
             for (u, v) in graph.edges_in(r) {
                 *seen.entry((u.0, v.0)).or_insert(0) += 1;

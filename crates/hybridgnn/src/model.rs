@@ -2,7 +2,7 @@
 //! exploration + hybrid aggregation flows + hierarchical attention, trained
 //! with the heterogeneous skip-gram objective over metapath-based walks.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
 use mhg_ckpt::{CkptError, StateDict};
@@ -316,7 +316,7 @@ impl HybridGnn {
         let num_rel = graph.schema().num_relations();
         let mut tables = vec![Tensor::zeros(graph.num_nodes(), d_m); num_rel];
         // label → (mass sum, count), per relation.
-        let mut acc: Vec<HashMap<String, (f64, usize)>> = vec![HashMap::new(); num_rel];
+        let mut acc: Vec<BTreeMap<String, (f64, usize)>> = vec![BTreeMap::new(); num_rel];
 
         let nodes: Vec<NodeId> = graph.nodes().collect();
         for chunk in nodes.chunks(BATCH) {
@@ -339,11 +339,12 @@ impl HybridGnn {
         let attention = acc
             .into_iter()
             .map(|m| {
-                let mut rows: Vec<(String, f64)> = m
+                // BTreeMap iterates label-sorted, so the profile rows come
+                // out in the same order the old explicit sort produced.
+                let rows: Vec<(String, f64)> = m
                     .into_iter()
                     .map(|(label, (sum, count))| (label, sum / count.max(1) as f64))
                     .collect();
-                rows.sort_by(|a, b| a.0.cmp(&b.0));
                 rows
             })
             .collect();

@@ -1,0 +1,557 @@
+//! Lossless, std-only Rust lexer for the workspace linter.
+//!
+//! The old linter was a line-oriented cleaner: it blanked strings and
+//! comments per line and matched rule needles as substrings. That design
+//! cannot see item boundaries or multi-line constructs — a call split as
+//! `.expect\n(` hides from it, and an identifier like `memfs` fabricates a
+//! `fs::write` match. This lexer replaces it with a real token stream:
+//!
+//! * **Lossless** — every byte of the input belongs to exactly one token,
+//!   so concatenating token texts reproduces the source verbatim (pinned by
+//!   the proptests in `tests/lexer_props.rs`).
+//! * **Total** — arbitrary input lexes without panicking; unterminated
+//!   strings and comments simply extend to end of input.
+//! * **Structure-aware** — raw strings with any number of `#`s, nested
+//!   block comments, char literals vs lifetimes, raw identifiers, byte and
+//!   raw-byte strings, and numeric literals (including `0..n` ranges) are
+//!   all tokenized correctly, across lines.
+//!
+//! Rule matching then happens over *significant* tokens (everything except
+//! whitespace and comments), which makes needles whitespace- and
+//! line-break-insensitive and identifier-boundary-exact for free.
+
+/// Kind of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs and newlines.
+    Whitespace,
+    /// `// …` (non-doc).
+    LineComment,
+    /// `/* … */`, possibly nested (non-doc).
+    BlockComment,
+    /// `/// …`, `//! …`, `/** … */` or `/*! … */`.
+    DocComment,
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String or byte-string literal (`"…"`, `b"…"`), possibly multi-line.
+    StrLit,
+    /// Raw string literal (`r"…"`, `r##"…"##`, `br#"…"#`), any hash count.
+    RawStrLit,
+    /// Numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token: its kind, byte span, and the 1-based line/column it starts at.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column (in characters) of the first byte.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether the token is code rather than whitespace or a comment.
+    pub fn is_significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace
+                | TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::DocComment
+        )
+    }
+}
+
+/// Character cursor with line/column tracking. All lookahead is bounds
+/// checked, which is what makes the lexer total.
+struct Cursor {
+    chars: Vec<(usize, char)>,
+    src_len: usize,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.char_indices().collect(),
+            src_len: src.len(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the next unconsumed character (or end of input).
+    fn offset(&self) -> usize {
+        self.chars.get(self.i).map_or(self.src_len, |&(o, _)| o)
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.i) {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a complete, gap-free token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while !cur.at_end() {
+        let start = cur.offset();
+        let (line, col) = (cur.line, cur.col);
+        let kind = next_kind(&mut cur);
+        // Defensive: a lexer bug that consumes nothing would loop forever;
+        // consume one char as an opaque Punct instead.
+        if cur.offset() == start {
+            cur.bump();
+        }
+        out.push(Token {
+            kind,
+            start,
+            end: cur.offset(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes one token's characters and returns its kind.
+fn next_kind(cur: &mut Cursor) -> TokenKind {
+    let Some(c) = cur.peek(0) else {
+        return TokenKind::Whitespace;
+    };
+    if c.is_whitespace() {
+        while cur.peek(0).is_some_and(char::is_whitespace) {
+            cur.bump();
+        }
+        return TokenKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek(1) {
+            Some('/') => return line_comment(cur),
+            Some('*') => return block_comment(cur),
+            _ => {}
+        }
+    }
+    if c == 'r' || c == 'b' {
+        if let Some(kind) = string_prefix(cur, c) {
+            return kind;
+        }
+    }
+    if is_ident_start(c) {
+        // Raw identifier: `r#name` (the raw-string case `r#"` was already
+        // ruled out above).
+        if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+            cur.bump(); // r
+            cur.bump(); // #
+        }
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return TokenKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        return number(cur);
+    }
+    match c {
+        '"' => string(cur),
+        '\'' => lifetime_or_char(cur),
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+fn line_comment(cur: &mut Cursor) -> TokenKind {
+    // `///` (but not `////`) and `//!` are doc comments.
+    let doc = match cur.peek(2) {
+        Some('/') => cur.peek(3) != Some('/'),
+        Some('!') => true,
+        _ => false,
+    };
+    while cur.peek(0).is_some_and(|c| c != '\n') {
+        cur.bump();
+    }
+    if doc {
+        TokenKind::DocComment
+    } else {
+        TokenKind::LineComment
+    }
+}
+
+fn block_comment(cur: &mut Cursor) -> TokenKind {
+    // `/**` (but not `/***` or the empty `/**/`) and `/*!` are doc comments.
+    let doc = match cur.peek(2) {
+        Some('*') => !matches!(cur.peek(3), Some('*') | Some('/')),
+        Some('!') => true,
+        _ => false,
+    };
+    cur.bump_n(2);
+    let mut depth = 1u32;
+    while depth > 0 && !cur.at_end() {
+        if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+            depth += 1;
+            cur.bump_n(2);
+        } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+            depth -= 1;
+            cur.bump_n(2);
+        } else {
+            cur.bump();
+        }
+    }
+    if doc {
+        TokenKind::DocComment
+    } else {
+        TokenKind::BlockComment
+    }
+}
+
+/// Handles the `r` / `b` prefixed literal forms: `r"…"`, `r#…"…"#…`,
+/// `b"…"`, `b'…'`, `br#"…"#`. Returns `None` when the prefix is actually
+/// the start of a plain identifier (including raw identifiers `r#name`).
+fn string_prefix(cur: &mut Cursor, c: char) -> Option<TokenKind> {
+    let raw_from = |j: usize, cur: &Cursor| -> Option<usize> {
+        // Counts `#`s from lookahead position `j`; Some(hashes) if a `"`
+        // follows them (i.e. this really is a raw string opener).
+        let mut hashes = 0usize;
+        while cur.peek(j + hashes) == Some('#') {
+            hashes += 1;
+        }
+        (cur.peek(j + hashes) == Some('"')).then_some(hashes)
+    };
+    if c == 'r' {
+        if let Some(hashes) = raw_from(1, cur) {
+            cur.bump_n(1 + hashes + 1); // r, #s, opening quote
+            raw_string_body(cur, hashes);
+            return Some(TokenKind::RawStrLit);
+        }
+        return None; // identifier (possibly raw identifier `r#name`)
+    }
+    // c == 'b'
+    match cur.peek(1) {
+        Some('"') => {
+            cur.bump(); // b
+            Some(string(cur))
+        }
+        Some('\'') => {
+            cur.bump(); // b
+            Some(char_literal(cur))
+        }
+        Some('r') => {
+            if let Some(hashes) = raw_from(2, cur) {
+                cur.bump_n(2 + hashes + 1); // b, r, #s, opening quote
+                raw_string_body(cur, hashes);
+                return Some(TokenKind::RawStrLit);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Consumes a raw-string body up to `"` followed by `hashes` `#`s (or EOF).
+fn raw_string_body(cur: &mut Cursor, hashes: usize) {
+    while !cur.at_end() {
+        if cur.peek(0) == Some('"') {
+            let closed = (0..hashes).all(|k| cur.peek(1 + k) == Some('#'));
+            if closed {
+                cur.bump_n(1 + hashes);
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+/// Consumes a normal (possibly multi-line) string literal from its `"`.
+fn string(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump_n(2);
+        } else if c == '"' {
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+        }
+    }
+    TokenKind::StrLit
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+fn lifetime_or_char(cur: &mut Cursor) -> TokenKind {
+    let next = cur.peek(1);
+    if next.is_some_and(is_ident_start) && cur.peek(2) != Some('\'') {
+        cur.bump(); // quote
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return TokenKind::Lifetime;
+    }
+    char_literal(cur)
+}
+
+/// Consumes a char literal from its `'`. Stops at the closing quote, a
+/// newline (char literals cannot span lines — this bounds the damage of a
+/// stray apostrophe), or EOF.
+fn char_literal(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '\\' => cur.bump_n(2),
+            '\'' => {
+                cur.bump();
+                break;
+            }
+            '\n' => break,
+            _ => cur.bump(),
+        }
+    }
+    TokenKind::CharLit
+}
+
+/// Consumes a numeric literal: decimal/hex/octal/binary integers, floats
+/// with fraction and exponent, underscores, and type suffixes. `0..n`
+/// ranges are left intact (the `.` is only consumed when a digit follows).
+fn number(cur: &mut Cursor) -> TokenKind {
+    let radix_prefix = cur.peek(0) == Some('0')
+        && matches!(
+            cur.peek(1),
+            Some('x') | Some('X') | Some('o') | Some('O') | Some('b') | Some('B')
+        );
+    if radix_prefix {
+        cur.bump_n(2);
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            cur.bump();
+        }
+    } else {
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            cur.bump();
+        }
+        // Fraction: only when a digit follows the dot (`0..n` stays a range).
+        if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            cur.bump();
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                cur.bump();
+            }
+        }
+        // Exponent: `e`/`E` with optional sign, only when digits follow.
+        if matches!(cur.peek(0), Some('e') | Some('E')) {
+            let (sign, digit_at) = match cur.peek(1) {
+                Some('+') | Some('-') => (1, 2),
+                _ => (0, 1),
+            };
+            if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                cur.bump_n(1 + sign);
+                while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    cur.bump();
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, `usize`, …) and any trailing hex letters.
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    TokenKind::NumLit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn sig_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.is_significant())
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src, "lossless round-trip failed");
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            sig_texts("a.b::c!"),
+            vec!["a", ".", "b", ":", ":", "c", "!"]
+        );
+        roundtrip("a.b::c!  d");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = "let s = \"panic! .unwrap()\"; x";
+        let sig = sig_texts(src);
+        assert!(sig.contains(&"\"panic! .unwrap()\"".to_string()));
+        // The string is ONE StrLit token — `panic` is not an Ident here.
+        let kinds: Vec<TokenKind> = lex(src).iter().map(|t| t.kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == TokenKind::StrLit).count(), 1);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn multiline_raw_strings_are_one_token() {
+        let src = "let s = r##\"line1 .unwrap()\nline2 \"# not closed\nend\"##; y";
+        let toks = texts(src);
+        let raw: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::RawStrLit)
+            .collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].1.contains("line2"));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("y"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let src = "let r#type = 1;";
+        assert!(sig_texts(src).contains(&"r#type".to_string()));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "let a = b\"bytes\"; let c = b'\\n'; let r = br#\"raw\"#;";
+        let kinds: Vec<TokenKind> = lex(src)
+            .iter()
+            .filter(|t| t.is_significant())
+            .map(|t| t.kind)
+            .collect();
+        assert!(kinds.contains(&TokenKind::StrLit));
+        assert!(kinds.contains(&TokenKind::CharLit));
+        assert!(kinds.contains(&TokenKind::RawStrLit));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "impl<'a> Foo<'a> { fn f(c: char) -> bool { c == '\"' || c == '\\'' } }";
+        let toks = texts(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::CharLit)
+                .count(),
+            2
+        );
+        roundtrip(src);
+    }
+
+    #[test]
+    fn nested_block_comments_and_docs() {
+        let src =
+            "/* outer /* inner */ still */ code /// doc\nx //! also\n/** blockdoc */ //// plain";
+        let toks = texts(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::DocComment)
+                .count(),
+            3
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::LineComment)
+                .count(),
+            1
+        );
+        roundtrip(src);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            sig_texts("0..10 1.5e-3 0xFFu32 1_000"),
+            vec!["0", ".", ".", "10", "1.5e-3", "0xFFu32", "1_000"]
+        );
+        roundtrip("for i in 0..n { x[i] = 1.0e9; }");
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panic() {
+        for src in ["\"never closed", "r#\"open", "/* open", "'\\", "b\"x"] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn line_and_col_are_tracked() {
+        let toks = lex("ab\n  cd");
+        let cd = toks.last().copied();
+        assert!(cd.is_some_and(|t| t.line == 2 && t.col == 3));
+    }
+}

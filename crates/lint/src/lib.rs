@@ -1,10 +1,17 @@
 //! Workspace-specific static checks for the HybridGNN reproduction.
 //!
-//! `cargo run -p mhg-lint` walks every `crates/*/src/**.rs` file and enforces
-//! invariants that rustc and clippy cannot express for us:
+//! `cargo run -p mhg-lint` (or the `cargo lint` alias) walks every
+//! `crates/*/src/**.rs` file and enforces invariants that rustc and clippy
+//! cannot express for us. The scanner is a real lossless lexer
+//! ([`lexer`]) — every byte of the source lands in exactly one token, so
+//! raw strings, block comments and multi-line expressions can neither hide
+//! nor fabricate findings — with structural analyses ([`engine`]) layered
+//! on the significant-token stream.
+//!
+//! Rules ([`rules`]):
 //!
 //! * **no-panic** — no `.unwrap()` / `.expect(` / `panic!` family in library
-//!   code. Experiment binaries (`src/bin/`) and `#[cfg(test)]` blocks are
+//!   code. Experiment binaries (`src/bin/`) and `#[cfg(test)]` items are
 //!   exempt: a driver or test may abort, a library must return errors or
 //!   assert with context.
 //! * **unseeded-rng** — no `thread_rng` / `from_entropy` / `rand::random`
@@ -18,757 +25,47 @@
 //! * **shape-assert** — every tensor-op entry point combining two or more
 //!   tensors (in `crates/tensor/src/{ops,tensor}.rs`) contains a shape
 //!   assertion in its body.
-//! * **epoch-loop** — no `for epoch in` loops outside `crates/train`. The
-//!   training epoch loop (sampling, stepping, early stopping, reporting)
-//!   is owned by `mhg_train::train`; a model writing its own loop forks
-//!   the pipeline's determinism and timing contracts.
+//! * **epoch-loop** — no `for epoch in` loops outside `crates/train`; the
+//!   epoch loop is owned by `mhg_train::train`.
 //! * **raw-thread** — no `std::thread::spawn` / `thread::scope` outside
-//!   `crates/par` and `crates/train`. All data parallelism must go through
-//!   the `mhg-par` pool, whose fixed-partition contract keeps results
-//!   bit-identical for any thread count; ad-hoc threads have no such
-//!   guarantee.
+//!   `crates/par` and `crates/train`; all data parallelism goes through the
+//!   fixed-partition `mhg-par` pool.
 //! * **raw-file-write** — no `File::create` / `fs::write` outside
-//!   `crates/ckpt`. Every persistent artifact (checkpoints, graphs, bench
-//!   results) must go through `mhg_ckpt::atomic_write`, which stages to a
-//!   temp file, fsyncs and renames — a direct write can be torn by a crash
-//!   and is invisible to the fault-injection schedule.
+//!   `crates/ckpt`; persistence goes through `mhg_ckpt::atomic_write`.
 //! * **no-eprintln** — no raw `eprintln!` outside `crates/obs` and binary
-//!   entry points. All progress reporting and diagnostics go through the
-//!   `mhg-obs` registry and sinks (`Obs::note`, events, the stderr
-//!   summary), so human output and `metrics.jsonl` can never disagree.
+//!   entry points; reporting goes through the `mhg-obs` registry and sinks.
+//! * **ordered-iteration** — no iteration over `HashMap`/`HashSet` whose
+//!   order can leak into serialized, reduced or RNG-consuming state; use
+//!   `BTreeMap`/`BTreeSet` or sort before use. Hash iteration order varies
+//!   per process (SipHash keys are randomized), so any order leak breaks
+//!   the byte-identical replay contract.
+//! * **atomic-ordering** — `Ordering::Relaxed` counters are permitted only
+//!   in `crates/obs`; every other atomic-ordering use anywhere (including
+//!   `Acquire`/`Release`/`SeqCst`) needs a justified `lint.allow` entry
+//!   naming the happens-before edge it creates.
+//! * **unchecked-arith** — length/size narrowing and length multiplication
+//!   on persistence paths (`crates/ckpt`, `crates/graph/src/persist.rs`)
+//!   must go through checked helpers: a silently wrapped length corrupts
+//!   the archive instead of failing loudly.
+//! * **crate-layering** — source references to sibling workspace crates
+//!   must follow the substrate DAG; `tensor`/`autograd`/`par` can never
+//!   depend on `train`/`models`/`bench`.
+//! * **dead-allow** / **unjustified-allow** — `lint.allow` entries that
+//!   match no current finding, or carry no justification comment in their
+//!   block, are findings themselves.
 //!
-//! Findings that are individually justified live in the `lint.allow` file at
-//! the workspace root; see [`parse_allowlist`] for the format. The scanner is
-//! a line-oriented token cleaner (strings, comments and char literals are
-//! stripped before matching), not a full parser — rules are chosen so that
-//! this approximation has no false negatives on the workspace's style.
+//! Findings that are individually justified live in the `lint.allow` file
+//! at the workspace root; see [`parse_allowlist`] for the format and
+//! justification policy. The CLI renders text or machine-readable JSON
+//! (`--format json`) for CI consumption.
 
-use std::fmt;
-use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
 
-/// A lint rule identifier.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Rule {
-    /// `.unwrap()` / `.expect(` / `panic!` family in library code.
-    NoPanic,
-    /// Unseeded randomness outside tests.
-    UnseededRng,
-    /// `std::time` usage in model/forward code.
-    WallClock,
-    /// Undocumented `pub fn` in a substrate crate.
-    MissingDocs,
-    /// Multi-tensor op entry point without a shape assertion.
-    ShapeAssert,
-    /// Hand-rolled training epoch loop outside `crates/train`.
-    EpochLoop,
-    /// Raw `std::thread` usage outside the sanctioned pool crates.
-    RawThread,
-    /// Direct file write bypassing `mhg_ckpt::atomic_write`.
-    RawFileWrite,
-    /// Raw `eprintln!` bypassing the `mhg-obs` sinks.
-    NoEprintln,
-}
-
-impl Rule {
-    /// Stable rule name used in reports and the allowlist.
-    pub fn name(self) -> &'static str {
-        match self {
-            Rule::NoPanic => "no-panic",
-            Rule::UnseededRng => "unseeded-rng",
-            Rule::WallClock => "wall-clock",
-            Rule::MissingDocs => "missing-docs",
-            Rule::ShapeAssert => "shape-assert",
-            Rule::EpochLoop => "epoch-loop",
-            Rule::RawThread => "raw-thread",
-            Rule::RawFileWrite => "raw-file-write",
-            Rule::NoEprintln => "no-eprintln",
-        }
-    }
-}
-
-/// A single finding: file, 1-based line, rule and message.
-#[derive(Debug, Clone)]
-pub struct Diagnostic {
-    /// Workspace-relative path with `/` separators.
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// The violated rule.
-    pub rule: Rule,
-    /// Human-readable explanation.
-    pub message: String,
-    /// Trimmed source line, used for allowlist matching.
-    pub snippet: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file,
-            self.line,
-            self.rule.name(),
-            self.message
-        )
-    }
-}
-
-/// Which rules apply to a given file.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FileClass {
-    /// Panic-freedom applies.
-    pub no_panic: bool,
-    /// Seeded-randomness rule applies.
-    pub unseeded_rng: bool,
-    /// Wall-clock rule applies.
-    pub wall_clock: bool,
-    /// Doc-coverage rule applies.
-    pub missing_docs: bool,
-    /// Shape-assertion rule applies.
-    pub shape_assert: bool,
-    /// Epoch-loop rule applies.
-    pub epoch_loop: bool,
-    /// Raw-thread rule applies.
-    pub raw_thread: bool,
-    /// Raw-file-write rule applies.
-    pub raw_file_write: bool,
-    /// No-eprintln rule applies.
-    pub no_eprintln: bool,
-}
-
-/// Crates whose forward/training path must never read the wall clock.
-const WALL_CLOCK_CRATES: &[&str] = &["tensor", "autograd", "sampling", "models", "hybridgnn"];
-
-/// Substrate crates whose public API must be documented.
-const DOCS_CRATES: &[&str] = &["tensor", "autograd", "graph"];
-
-/// Decides which rules apply to `rel_path` (workspace-relative, `/`
-/// separators). Returns `None` for files the linter does not scan.
-pub fn classify(rel_path: &str) -> Option<FileClass> {
-    if !rel_path.ends_with(".rs") || !rel_path.starts_with("crates/") {
-        return None;
-    }
-    let rest = &rel_path["crates/".len()..];
-    let (krate, tail) = rest.split_once('/')?;
-    if !tail.starts_with("src/") {
-        return None;
-    }
-    let is_bin = tail.starts_with("src/bin/") || tail == "src/main.rs";
-    Some(FileClass {
-        no_panic: !is_bin,
-        unseeded_rng: true,
-        wall_clock: WALL_CLOCK_CRATES.contains(&krate),
-        missing_docs: DOCS_CRATES.contains(&krate) && !is_bin,
-        shape_assert: rel_path == "crates/tensor/src/ops.rs"
-            || rel_path == "crates/tensor/src/tensor.rs",
-        epoch_loop: krate != "train",
-        raw_thread: krate != "par" && krate != "train",
-        raw_file_write: krate != "ckpt",
-        no_eprintln: krate != "obs" && !is_bin,
-    })
-}
-
-/// One source line after comment/string/char-literal stripping.
-#[derive(Debug)]
-struct CleanLine {
-    /// Code content with comments removed and string bodies blanked.
-    code: String,
-    /// The raw line is a `///` or `//!` doc comment.
-    doc: bool,
-}
-
-/// Lexer state that survives across lines.
-enum LexState {
-    Normal,
-    /// Inside a (possibly nested) block comment.
-    Block(u32),
-    /// Inside a regular string literal.
-    Str,
-    /// Inside a raw string literal with the given number of `#`s.
-    RawStr(u32),
-}
-
-/// Strips comments, string bodies and char literals, preserving line
-/// structure so findings keep their original line numbers.
-fn clean(source: &str) -> Vec<CleanLine> {
-    let mut out = Vec::new();
-    let mut state = LexState::Normal;
-    for raw in source.lines() {
-        let trimmed = raw.trim_start();
-        let doc = matches!(state, LexState::Normal)
-            && (trimmed.starts_with("///") || trimmed.starts_with("//!"));
-        let chars: Vec<char> = raw.chars().collect();
-        let mut code = String::with_capacity(raw.len());
-        let mut i = 0;
-        while i < chars.len() {
-            match state {
-                LexState::Block(depth) => {
-                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        state = if depth > 1 {
-                            LexState::Block(depth - 1)
-                        } else {
-                            LexState::Normal
-                        };
-                        i += 2;
-                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = LexState::Block(depth + 1);
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                LexState::Str => {
-                    if chars[i] == '\\' {
-                        i += 2;
-                    } else {
-                        if chars[i] == '"' {
-                            state = LexState::Normal;
-                        }
-                        i += 1;
-                    }
-                }
-                LexState::RawStr(hashes) => {
-                    if chars[i] == '"' {
-                        let h = hashes as usize;
-                        if chars[i + 1..].iter().take(h).filter(|&&c| c == '#').count() == h {
-                            state = LexState::Normal;
-                            i += 1 + h;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                }
-                LexState::Normal => {
-                    let c = chars[i];
-                    if c == '/' && chars.get(i + 1) == Some(&'/') {
-                        break; // line comment: rest of line is not code
-                    }
-                    if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = LexState::Block(1);
-                        i += 2;
-                        continue;
-                    }
-                    if c == '"' {
-                        state = LexState::Str;
-                        i += 1;
-                        continue;
-                    }
-                    // Raw string start: r" or r#…" (not part of an identifier).
-                    if c == 'r'
-                        && (i == 0 || !is_ident(chars[i - 1]))
-                        && matches!(chars.get(i + 1), Some(&'"') | Some(&'#'))
-                    {
-                        let mut j = i + 1;
-                        let mut hashes = 0u32;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            state = LexState::RawStr(hashes);
-                            i = j + 1;
-                            continue;
-                        }
-                    }
-                    if c == '\'' {
-                        // Char literal or lifetime.
-                        if chars.get(i + 1) == Some(&'\\') {
-                            // Escaped char: skip to the closing quote.
-                            let mut j = i + 2;
-                            while j < chars.len() && chars[j] != '\'' {
-                                j += 1;
-                            }
-                            i = j + 1;
-                            continue;
-                        }
-                        if chars.get(i + 2) == Some(&'\'') {
-                            i += 3; // plain char literal 'x'
-                            continue;
-                        }
-                        // Lifetime: drop the quote, keep scanning.
-                        i += 1;
-                        continue;
-                    }
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-        out.push(CleanLine { code, doc });
-    }
-    out
-}
-
-fn is_ident(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Patterns for the three substring rules: `(rule, needle, message)`.
-const PATTERNS: &[(Rule, &str, &str)] = &[
-    (
-        Rule::NoPanic,
-        ".unwrap()",
-        "`.unwrap()` in library code — return a Result or assert with context",
-    ),
-    (
-        Rule::NoPanic,
-        ".expect(",
-        "`.expect(...)` in library code — return a Result or assert with context",
-    ),
-    (
-        Rule::NoPanic,
-        "panic!",
-        "`panic!` in library code — return a Result or assert with context",
-    ),
-    (
-        Rule::NoPanic,
-        "unreachable!",
-        "`unreachable!` in library code — encode the invariant in the types",
-    ),
-    (
-        Rule::NoPanic,
-        "todo!(",
-        "`todo!` must not ship in library code",
-    ),
-    (
-        Rule::NoPanic,
-        "unimplemented!",
-        "`unimplemented!` must not ship in library code",
-    ),
-    (
-        Rule::UnseededRng,
-        "thread_rng",
-        "unseeded RNG — derive the stream from an explicit seed",
-    ),
-    (
-        Rule::UnseededRng,
-        "from_entropy",
-        "entropy-seeded RNG — derive the stream from an explicit seed",
-    ),
-    (
-        Rule::UnseededRng,
-        "rand::random",
-        "unseeded RNG — derive the stream from an explicit seed",
-    ),
-    (
-        Rule::WallClock,
-        "std::time",
-        "wall clock in model code — timing belongs to the bench harness",
-    ),
-    (
-        Rule::WallClock,
-        "Instant::now",
-        "wall clock in model code — timing belongs to the bench harness",
-    ),
-    (
-        Rule::WallClock,
-        "SystemTime::now",
-        "wall clock in model code — timing belongs to the bench harness",
-    ),
-    (
-        Rule::EpochLoop,
-        "for epoch in",
-        "hand-rolled epoch loop — drive training through `mhg_train::train`",
-    ),
-    (
-        Rule::RawThread,
-        "thread::spawn",
-        "raw thread spawn — use the deterministic `mhg_par` pool",
-    ),
-    (
-        Rule::RawThread,
-        "thread::scope",
-        "raw scoped threads — use the deterministic `mhg_par` pool",
-    ),
-    (
-        Rule::RawFileWrite,
-        "File::create",
-        "raw file write — route persistence through `mhg_ckpt::atomic_write`",
-    ),
-    (
-        Rule::RawFileWrite,
-        "fs::write",
-        "raw file write — route persistence through `mhg_ckpt::atomic_write`",
-    ),
-    (
-        Rule::NoEprintln,
-        "eprintln!",
-        "raw `eprintln!` — route reporting through the `mhg-obs` registry/sinks",
-    ),
-];
-
-fn rule_enabled(class: &FileClass, rule: Rule) -> bool {
-    match rule {
-        Rule::NoPanic => class.no_panic,
-        Rule::UnseededRng => class.unseeded_rng,
-        Rule::WallClock => class.wall_clock,
-        Rule::MissingDocs => class.missing_docs,
-        Rule::ShapeAssert => class.shape_assert,
-        Rule::EpochLoop => class.epoch_loop,
-        Rule::RawThread => class.raw_thread,
-        Rule::RawFileWrite => class.raw_file_write,
-        Rule::NoEprintln => class.no_eprintln,
-    }
-}
-
-/// Scans one file's source and returns every finding.
-///
-/// `rel_path` selects the applicable rules via [`classify`]; files the
-/// linter does not cover yield no findings.
-pub fn scan_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
-    let Some(class) = classify(rel_path) else {
-        return Vec::new();
-    };
-    let lines = clean(source);
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let mut diags = Vec::new();
-
-    // Pass 1: brace-depth + #[cfg(test)] region tracking, substring rules,
-    // and doc-coverage bookkeeping.
-    let mut depth: i64 = 0;
-    let mut test_region: Option<i64> = None;
-    let mut pending_cfg_test = false;
-    let mut pending_doc = false;
-    let mut in_test = vec![false; lines.len()];
-
-    for (idx, line) in lines.iter().enumerate() {
-        let code = line.code.as_str();
-        let raw = raw_lines.get(idx).copied().unwrap_or("");
-        in_test[idx] = test_region.is_some();
-
-        if test_region.is_none() && (code.contains("cfg(test)") || code.contains("cfg(all(test")) {
-            pending_cfg_test = true;
-            in_test[idx] = true;
-        }
-        if pending_cfg_test && code.contains('{') {
-            test_region = Some(depth);
-            pending_cfg_test = false;
-            in_test[idx] = true;
-        } else if pending_cfg_test && code.trim_end().ends_with(';') {
-            // `#[cfg(test)]` on a braceless item (use, type alias): the
-            // item ends here and opens no region.
-            pending_cfg_test = false;
-            in_test[idx] = true;
-        }
-        for c in code.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if let Some(d) = test_region {
-            in_test[idx] = true;
-            if depth <= d {
-                test_region = None;
-            }
-        }
-
-        if !in_test[idx] {
-            for &(rule, needle, message) in PATTERNS {
-                if rule_enabled(&class, rule) && code.contains(needle) {
-                    diags.push(Diagnostic {
-                        file: rel_path.to_string(),
-                        line: idx + 1,
-                        rule,
-                        message: message.to_string(),
-                        snippet: raw.trim().to_string(),
-                    });
-                }
-            }
-        }
-
-        // Doc-coverage: a `pub fn` item must be preceded by a doc comment
-        // (attributes between the doc and the item are fine).
-        let trimmed = raw.trim();
-        if line.doc {
-            pending_doc = true;
-        } else if trimmed.is_empty() || trimmed.starts_with("#[") {
-            // keep pending_doc
-        } else {
-            if !in_test[idx] && class.missing_docs && is_pub_fn(code) && !pending_doc {
-                diags.push(Diagnostic {
-                    file: rel_path.to_string(),
-                    line: idx + 1,
-                    rule: Rule::MissingDocs,
-                    message: "undocumented `pub fn` in substrate crate".to_string(),
-                    snippet: trimmed.to_string(),
-                });
-            }
-            pending_doc = false;
-        }
-    }
-
-    // Pass 2: shape assertions in multi-tensor op entry points.
-    if class.shape_assert {
-        diags.extend(check_shape_asserts(rel_path, &lines, &raw_lines, &in_test));
-    }
-
-    diags.sort_by_key(|d| d.line);
-    diags
-}
-
-fn is_pub_fn(code: &str) -> bool {
-    let t = code.trim_start();
-    t.starts_with("pub fn ") || t.starts_with("pub const fn ") || t.starts_with("pub unsafe fn ")
-}
-
-/// Finds `pub fn` items whose parameter list mentions two or more tensors
-/// (counting `&self` in an `impl Tensor` file) but whose body contains no
-/// `assert`. Works on the cleaned text so strings cannot confuse matching.
-fn check_shape_asserts(
-    rel_path: &str,
-    lines: &[CleanLine],
-    raw_lines: &[&str],
-    in_test: &[bool],
-) -> Vec<Diagnostic> {
-    // Join cleaned lines, remembering each line's start offset.
-    let mut text = String::new();
-    let mut starts = Vec::with_capacity(lines.len());
-    for line in lines {
-        starts.push(text.len());
-        text.push_str(&line.code);
-        text.push('\n');
-    }
-    let line_of = |pos: usize| starts.partition_point(|&s| s <= pos).saturating_sub(1);
-
-    let mut diags = Vec::new();
-    let bytes = text.as_bytes();
-    let mut search_from = 0;
-    while let Some(off) = text[search_from..].find("pub fn ") {
-        let fn_pos = search_from + off;
-        search_from = fn_pos + "pub fn ".len();
-        let line_idx = line_of(fn_pos);
-        if in_test.get(line_idx).copied().unwrap_or(false) {
-            continue;
-        }
-        // Parameter list: first '(' after the fn keyword, balanced to ')'.
-        let Some(open_rel) = text[fn_pos..].find('(') else {
-            continue;
-        };
-        let open = fn_pos + open_rel;
-        let Some(close) = matching(bytes, open, b'(', b')') else {
-            continue;
-        };
-        let params = &text[open + 1..close];
-        let mut tensors = params
-            .replace("[&Tensor]", "Tensor Tensor")
-            .matches("Tensor")
-            .count();
-        if params.contains("self") {
-            tensors += 1; // methods on Tensor: the receiver is a tensor
-        }
-        if tensors < 2 {
-            continue;
-        }
-        // Body: first '{' after the parameter list, balanced to '}'.
-        let Some(body_open_rel) = text[close..].find('{') else {
-            continue;
-        };
-        let body_open = close + body_open_rel;
-        let Some(body_close) = matching(bytes, body_open, b'{', b'}') else {
-            continue;
-        };
-        if !text[body_open..body_close].contains("assert") {
-            diags.push(Diagnostic {
-                file: rel_path.to_string(),
-                line: line_idx + 1,
-                rule: Rule::ShapeAssert,
-                message: "multi-tensor op entry point without a shape assertion".to_string(),
-                snippet: raw_lines
-                    .get(line_idx)
-                    .map(|l| l.trim())
-                    .unwrap_or("")
-                    .to_string(),
-            });
-        }
-    }
-    diags
-}
-
-/// Byte offset of the delimiter matching the one at `open`, or `None`.
-fn matching(bytes: &[u8], open: usize, open_b: u8, close_b: u8) -> Option<usize> {
-    let mut depth = 0i64;
-    for (i, &b) in bytes.iter().enumerate().skip(open) {
-        if b == open_b {
-            depth += 1;
-        } else if b == close_b {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-    }
-    None
-}
-
-/// One allowlist entry: `rule path-suffix needle…`.
-#[derive(Debug, Clone)]
-pub struct AllowEntry {
-    /// Rule name the entry suppresses.
-    pub rule: String,
-    /// Suffix the diagnostic's file path must end with.
-    pub path_suffix: String,
-    /// Substring the offending source line must contain.
-    pub needle: String,
-}
-
-/// Parses the allowlist format: one entry per line,
-/// `rule <path-suffix> <needle…>`, with `#` comments and blank lines
-/// ignored. The needle is the rest of the line (it may contain spaces) and
-/// is matched as a substring of the offending source line, so entries
-/// survive unrelated line-number churn.
-pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
-    let mut entries = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.splitn(3, char::is_whitespace);
-        let (Some(rule), Some(path), Some(needle)) = (parts.next(), parts.next(), parts.next())
-        else {
-            continue;
-        };
-        entries.push(AllowEntry {
-            rule: rule.to_string(),
-            path_suffix: path.to_string(),
-            needle: needle.trim().to_string(),
-        });
-    }
-    entries
-}
-
-/// Whether a diagnostic is suppressed by the allowlist.
-pub fn is_allowed(diag: &Diagnostic, allow: &[AllowEntry]) -> bool {
-    allow.iter().any(|e| {
-        e.rule == diag.rule.name()
-            && diag.file.ends_with(&e.path_suffix)
-            && diag.snippet.contains(&e.needle)
-    })
-}
-
-/// Recursively collects `.rs` files under `dir`.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            collect_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Scans every `crates/*/src/**.rs` file under `root` and returns all
-/// findings (before allowlist filtering), sorted by path and line.
-pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
-    collect_rs(&root.join("crates"), &mut files)?;
-    files.sort();
-    let mut diags = Vec::new();
-    for file in files {
-        let rel: String = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        if classify(&rel).is_none() {
-            continue;
-        }
-        let source = fs::read_to_string(&file)?;
-        diags.extend(scan_file(&rel, &source));
-    }
-    Ok(diags)
-}
-
-/// Scans the workspace, applies the allowlist, and prints a report.
-///
-/// Returns `Ok(true)` when no unsuppressed finding remains.
-pub fn run(root: &Path, allowlist_path: &Path) -> io::Result<bool> {
-    let allow = match fs::read_to_string(allowlist_path) {
-        Ok(text) => parse_allowlist(&text),
-        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(e),
-    };
-    let all = scan_workspace(root)?;
-    let (suppressed, reported): (Vec<_>, Vec<_>) =
-        all.into_iter().partition(|d| is_allowed(d, &allow));
-    for d in &reported {
-        println!("{d}");
-    }
-    println!(
-        "mhg-lint: {} violation(s), {} allowlisted",
-        reported.len(),
-        suppressed.len()
-    );
-    Ok(reported.is_empty())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn cleaning_strips_strings_and_comments() {
-        let src = "let x = \"panic!\"; // panic!\nlet y = 1; /* .unwrap() */ let z = 2;\n";
-        let lines = clean(src);
-        assert!(!lines[0].code.contains("panic!"));
-        assert!(!lines[1].code.contains("unwrap"));
-        assert!(lines[1].code.contains("let z = 2;"));
-    }
-
-    #[test]
-    fn cleaning_handles_lifetimes_and_chars() {
-        let src = "impl<'a> Foo<'a> { fn f(c: char) -> bool { c == '\"' || c == '\\'' } }";
-        let lines = clean(src);
-        assert!(lines[0].code.contains("impl<a> Foo<a>"));
-        assert!(!lines[0].code.contains('"'));
-    }
-
-    #[test]
-    fn raw_strings_are_blanked() {
-        let src = "let s = r#\"contains .unwrap() here\"#; let t = 3;";
-        let lines = clean(src);
-        assert!(!lines[0].code.contains("unwrap"));
-        assert!(lines[0].code.contains("let t = 3;"));
-    }
-
-    #[test]
-    fn classify_selects_rules_by_crate() {
-        let t = classify("crates/tensor/src/ops.rs").expect("tensor file is scanned");
-        assert!(t.no_panic && t.wall_clock && t.missing_docs && t.shape_assert);
-        let b = classify("crates/bench/src/bin/exp_table4.rs").expect("bin file is scanned");
-        assert!(!b.no_panic && b.unseeded_rng && !b.wall_clock);
-        assert!(classify("crates/lint/tests/fixtures/x.rs").is_none());
-        assert!(classify("third_party/rand/src/lib.rs").is_none());
-    }
-
-    #[test]
-    fn cfg_test_blocks_are_exempt() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() { y.unwrap(); }\n";
-        let diags = scan_file("crates/eval/src/fake.rs", src);
-        assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!(diags[0].line, 6);
-    }
-
-    #[test]
-    fn allowlist_roundtrip() {
-        let entries = parse_allowlist(
-            "# comment\n\nno-panic crates/graph/src/csr.rs .expect(\"degree fits\n",
-        );
-        assert_eq!(entries.len(), 1);
-        let diag = Diagnostic {
-            file: "crates/graph/src/csr.rs".to_string(),
-            line: 10,
-            rule: Rule::NoPanic,
-            message: String::new(),
-            snippet: "let d = n.expect(\"degree fits in u32\");".to_string(),
-        };
-        assert!(is_allowed(&diag, &entries));
-    }
-}
+pub use report::{
+    audit_allowlist, is_allowed, parse_allowlist, render_json, run, scan_workspace, AllowEntry,
+    OutputFormat,
+};
+pub use rules::{classify, scan_file, Diagnostic, FileClass, Rule};

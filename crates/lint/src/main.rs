@@ -1,17 +1,21 @@
 //! CLI for the workspace linter: `cargo run -p mhg-lint` (or `cargo lint`).
 //!
-//! Scans `crates/*/src/**.rs` from the workspace root, applies the
-//! `lint.allow` allowlist, prints `file:line: [rule] message` diagnostics
-//! and exits nonzero when unsuppressed violations remain.
+//! Scans `crates/*/src/**.rs` from the workspace root, applies and audits
+//! the `lint.allow` allowlist, prints diagnostics and exits nonzero when
+//! unsuppressed violations remain.
 //!
 //! Options:
 //!
 //! * `--root <dir>` — workspace root to scan (default: the root the binary
 //!   was built in).
 //! * `--allowlist <file>` — allowlist path (default: `<root>/lint.allow`).
+//! * `--format <text|json>` — report format (default: `text`). JSON goes to
+//!   stdout so CI can capture it without the linter writing files itself.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use mhg_lint::OutputFormat;
 
 fn main() -> ExitCode {
     let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -20,6 +24,7 @@ fn main() -> ExitCode {
         .map(PathBuf::from);
     let mut root = default_root;
     let mut allowlist: Option<PathBuf> = None;
+    let mut format = OutputFormat::Text;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,8 +37,15 @@ fn main() -> ExitCode {
                 Some(v) => allowlist = Some(PathBuf::from(v)),
                 None => return usage("--allowlist requires a file"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = OutputFormat::Text,
+                Some("json") => format = OutputFormat::Json,
+                _ => return usage("--format requires `text` or `json`"),
+            },
             "--help" | "-h" => {
-                println!("usage: mhg-lint [--root <dir>] [--allowlist <file>]");
+                println!(
+                    "usage: mhg-lint [--root <dir>] [--allowlist <file>] [--format text|json]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -45,7 +57,7 @@ fn main() -> ExitCode {
     };
     let allowlist = allowlist.unwrap_or_else(|| root.join("lint.allow"));
 
-    match mhg_lint::run(&root, &allowlist) {
+    match mhg_lint::run(&root, &allowlist, format) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -56,6 +68,8 @@ fn main() -> ExitCode {
 }
 
 fn usage(problem: &str) -> ExitCode {
-    eprintln!("mhg-lint: {problem}\nusage: mhg-lint [--root <dir>] [--allowlist <file>]");
+    eprintln!(
+        "mhg-lint: {problem}\nusage: mhg-lint [--root <dir>] [--allowlist <file>] [--format text|json]"
+    );
     ExitCode::from(2)
 }

@@ -1,0 +1,315 @@
+//! Allowlist handling, workspace scanning and report rendering.
+//!
+//! The allowlist format is one entry per line, `rule <path-suffix>
+//! <needle…>`, with `#` comments and blank lines ignored. Every entry must
+//! be *justified* — its contiguous block of non-blank lines must contain at
+//! least one comment explaining why the finding is acceptable — and *live* —
+//! it must suppress at least one current finding. Violations of either
+//! policy are findings themselves ([`Rule::UnjustifiedAllow`],
+//! [`Rule::DeadAllow`]) so the allowlist cannot silently rot.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{classify, scan_file, Diagnostic, Rule};
+
+/// One allowlist entry: `rule path-suffix needle…`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule name the entry suppresses.
+    pub rule: String,
+    /// Suffix the diagnostic's file path must end with.
+    pub path_suffix: String,
+    /// Substring the offending source line must contain.
+    pub needle: String,
+    /// 1-based line of the entry in the allowlist file.
+    pub line: usize,
+    /// A comment line exists in the entry's contiguous block.
+    pub justified: bool,
+}
+
+/// Parses the allowlist format: one entry per line,
+/// `rule <path-suffix> <needle…>`, with `#` comments and blank lines
+/// ignored. The needle is the rest of the line (it may contain spaces) and
+/// is matched as a substring of the offending source line, so entries
+/// survive unrelated line-number churn. A comment anywhere in an entry's
+/// contiguous non-blank block counts as its justification.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut entries = Vec::new();
+    let mut block_has_comment = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            block_has_comment = false;
+            continue;
+        }
+        if line.starts_with('#') {
+            block_has_comment = true;
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let (Some(rule), Some(path), Some(needle)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        entries.push(AllowEntry {
+            rule: rule.to_string(),
+            path_suffix: path.to_string(),
+            needle: needle.trim().to_string(),
+            line: idx + 1,
+            justified: block_has_comment,
+        });
+    }
+    entries
+}
+
+/// Whether one entry suppresses one diagnostic.
+fn entry_matches(entry: &AllowEntry, diag: &Diagnostic) -> bool {
+    entry.rule == diag.rule.name()
+        && diag.file.ends_with(&entry.path_suffix)
+        && diag.snippet.contains(&entry.needle)
+}
+
+/// Whether a diagnostic is suppressed by the allowlist.
+pub fn is_allowed(diag: &Diagnostic, allow: &[AllowEntry]) -> bool {
+    allow.iter().any(|e| entry_matches(e, diag))
+}
+
+/// Policy findings for the allowlist itself: entries that match no current
+/// diagnostic are dead; entries whose block carries no comment are
+/// unjustified. `all` must be the *unfiltered* scan results.
+pub fn audit_allowlist(allow: &[AllowEntry], all: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for entry in allow {
+        let snippet = format!("{} {} {}", entry.rule, entry.path_suffix, entry.needle);
+        if !all.iter().any(|d| entry_matches(entry, d)) {
+            out.push(Diagnostic {
+                file: "lint.allow".to_string(),
+                line: entry.line,
+                col: 1,
+                rule: Rule::DeadAllow,
+                message: format!(
+                    "dead allowlist entry — no current `{}` finding matches `{}` / `{}`; \
+                     delete it",
+                    entry.rule, entry.path_suffix, entry.needle
+                ),
+                snippet: snippet.clone(),
+            });
+        }
+        if !entry.justified {
+            out.push(Diagnostic {
+                file: "lint.allow".to_string(),
+                line: entry.line,
+                col: 1,
+                rule: Rule::UnjustifiedAllow,
+                message: "allowlist entry without a justification comment in its block".to_string(),
+                snippet,
+            });
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `crates/*/src/**.rs` file under `root` and returns all
+/// findings (before allowlist filtering), sorted by path and line.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for file in files {
+        let rel: String = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if classify(&rel).is_none() {
+            continue;
+        }
+        let source = fs::read_to_string(&file)?;
+        diags.extend(scan_file(&rel, &source));
+    }
+    Ok(diags)
+}
+
+/// Report output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable `file:line:col: [rule] message` lines.
+    Text,
+    /// Machine-readable JSON document (consumed by CI).
+    Json,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full scan as a JSON document: every violation (reported and
+/// allowlisted, with an `allowed` flag) plus a summary block.
+pub fn render_json(reported: &[Diagnostic], suppressed: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"violations\": [\n");
+    let total = reported.len() + suppressed.len();
+    let mut first = true;
+    for (diags, allowed) in [(reported, false), (suppressed, true)] {
+        for d in diags {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+                 \"message\": \"{}\", \"snippet\": \"{}\", \"allowed\": {}}}",
+                json_escape(&d.file),
+                d.line,
+                d.col,
+                d.rule.name(),
+                json_escape(&d.message),
+                json_escape(&d.snippet),
+                allowed
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"total\": {}, \"reported\": {}, \"allowlisted\": {}}}\n}}\n",
+        total,
+        reported.len(),
+        suppressed.len()
+    ));
+    out
+}
+
+/// Scans the workspace, applies and audits the allowlist, and prints a
+/// report in the requested format to stdout.
+///
+/// Returns `Ok(true)` when no unsuppressed finding remains (allowlist
+/// policy findings — dead or unjustified entries — count as findings).
+pub fn run(root: &Path, allowlist_path: &Path, format: OutputFormat) -> io::Result<bool> {
+    let allow = match fs::read_to_string(allowlist_path) {
+        Ok(text) => parse_allowlist(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let all = scan_workspace(root)?;
+    let (suppressed, mut reported): (Vec<_>, Vec<_>) =
+        all.iter().cloned().partition(|d| is_allowed(d, &allow));
+    reported.extend(audit_allowlist(&allow, &all));
+    match format {
+        OutputFormat::Text => {
+            for d in &reported {
+                println!("{d}");
+            }
+            println!(
+                "mhg-lint: {} violation(s), {} allowlisted",
+                reported.len(),
+                suppressed.len()
+            );
+        }
+        OutputFormat::Json => {
+            print!("{}", render_json(&reported, &suppressed));
+        }
+    }
+    Ok(reported.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let entries = parse_allowlist(
+            "# justified: degree fits by construction\nno-panic crates/graph/src/csr.rs .expect(\"degree fits\n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].justified);
+        assert_eq!(entries[0].line, 2);
+        let diag = Diagnostic {
+            file: "crates/graph/src/csr.rs".to_string(),
+            line: 10,
+            col: 13,
+            rule: Rule::NoPanic,
+            message: String::new(),
+            snippet: "let d = n.expect(\"degree fits in u32\");".to_string(),
+        };
+        assert!(is_allowed(&diag, &entries));
+    }
+
+    #[test]
+    fn blank_line_resets_justification() {
+        let entries = parse_allowlist("# a comment\n\nno-panic crates/x/src/a.rs .unwrap()\n");
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].justified);
+    }
+
+    #[test]
+    fn audit_flags_dead_and_unjustified_entries() {
+        let entries = parse_allowlist(
+            "# live and justified\nno-panic crates/x/src/a.rs .unwrap()\nwall-clock crates/x/src/a.rs Instant\n\nno-panic crates/x/src/b.rs .expect(\n",
+        );
+        let all = vec![Diagnostic {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 1,
+            col: 1,
+            rule: Rule::NoPanic,
+            message: String::new(),
+            snippet: "x.unwrap()".to_string(),
+        }];
+        let audit = audit_allowlist(&entries, &all);
+        let dead: Vec<_> = audit.iter().filter(|d| d.rule == Rule::DeadAllow).collect();
+        let unjust: Vec<_> = audit
+            .iter()
+            .filter(|d| d.rule == Rule::UnjustifiedAllow)
+            .collect();
+        assert_eq!(dead.len(), 2, "{audit:?}");
+        assert_eq!(unjust.len(), 1, "{audit:?}");
+        assert_eq!(unjust[0].line, 5);
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let reported = vec![Diagnostic {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            col: 5,
+            rule: Rule::NoPanic,
+            message: "has \"quotes\"".to_string(),
+            snippet: "tab\there".to_string(),
+        }];
+        let json = render_json(&reported, &[]);
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("has \\\"quotes\\\""));
+        assert!(json.contains("tab\\there"));
+        assert!(json.contains("\"reported\": 1"));
+        assert!(json.contains("\"allowed\": false"));
+    }
+}

@@ -226,6 +226,141 @@ fn clean_fixture_passes_every_rule() {
     assert!(fired.is_empty(), "diagnostics: {fired:?}");
 }
 
+/// Satellite 1 regression: these needles are split across line breaks, so a
+/// line-oriented scanner cannot see them — prove that, then prove the
+/// token-stream engine does.
+#[test]
+fn multiline_needles_invisible_to_line_scanner_are_caught() {
+    let src = include_str!("fixtures/bad_multiline.rs");
+    // The old scanner's view: no single line contains these needles.
+    for needle in [".expect(", "for epoch in"] {
+        assert!(
+            !src.lines().any(|l| l.contains(needle)),
+            "fixture drifted: `{needle}` fits on one line again"
+        );
+    }
+    // The only single-line occurrences of `fs::write` / `rand::random` are
+    // the *false-positive* bait inside `memfs::write` / `my_rand::random` —
+    // a substring scanner would flag those and miss the real split call.
+    for (needle, bait) in [("fs::write", "memfs"), ("rand::random", "my_rand")] {
+        assert!(
+            src.lines()
+                .filter(|l| l.contains(needle))
+                .all(|l| l.contains(bait)),
+            "fixture drifted: `{needle}` appears outside its `{bait}` bait line"
+        );
+    }
+    let fired = rules_fired("crates/models/src/bad_multiline.rs", src);
+    assert_eq!(count(&fired, Rule::NoPanic), 1, "diagnostics: {fired:?}");
+    assert_eq!(count(&fired, Rule::EpochLoop), 1, "diagnostics: {fired:?}");
+    // Exactly the split `std::fs::↵write` call — not the `memfs::write` bait.
+    let writes: Vec<usize> = fired
+        .iter()
+        .filter(|(r, _)| *r == Rule::RawFileWrite)
+        .map(|&(_, line)| line)
+        .collect();
+    assert_eq!(writes.len(), 1, "diagnostics: {fired:?}");
+    // Identifier-boundary exactness: `my_rand::random` must NOT fire.
+    assert_eq!(
+        count(&fired, Rule::UnseededRng),
+        0,
+        "diagnostics: {fired:?}"
+    );
+}
+
+#[test]
+fn hash_iter_fixture_fires_ordered_iteration() {
+    let fired = rules_fired(
+        "crates/models/src/bad_hash_iter.rs",
+        include_str!("fixtures/bad_hash_iter.rs"),
+    );
+    // The for-loop and the `.keys()` chain; the sorted, BTreeMap and
+    // `#[cfg(test)]` iterations are exempt.
+    assert_eq!(
+        count(&fired, Rule::OrderedIteration),
+        2,
+        "diagnostics: {fired:?}"
+    );
+}
+
+#[test]
+fn atomics_fixture_fires_outside_obs_only_for_relaxed() {
+    let src = include_str!("fixtures/bad_atomics.rs");
+    // Outside obs: Relaxed + Release + Acquire + SeqCst all fire; the
+    // `#[cfg(test)]` SeqCst is exempt.
+    let fired = rules_fired("crates/models/src/bad_atomics.rs", src);
+    assert_eq!(
+        count(&fired, Rule::AtomicOrdering),
+        4,
+        "diagnostics: {fired:?}"
+    );
+    // Inside obs: Relaxed is the blessed idiom, stronger orderings still
+    // need justification.
+    let in_obs = rules_fired("crates/obs/src/bad_atomics.rs", src);
+    assert_eq!(
+        count(&in_obs, Rule::AtomicOrdering),
+        3,
+        "diagnostics: {in_obs:?}"
+    );
+}
+
+#[test]
+fn unchecked_fixture_fires_on_persistence_paths_only() {
+    let src = include_str!("fixtures/bad_unchecked.rs");
+    // In ckpt: the bare `len() as u32`, `rows() as u16` and `8 * len()`.
+    let in_ckpt = rules_fired("crates/ckpt/src/bad_unchecked.rs", src);
+    assert_eq!(
+        count(&in_ckpt, Rule::UncheckedArith),
+        3,
+        "diagnostics: {in_ckpt:?}"
+    );
+    // Outside the persistence paths the rule does not apply.
+    let in_models = rules_fired("crates/models/src/bad_unchecked.rs", src);
+    assert_eq!(
+        count(&in_models, Rule::UncheckedArith),
+        0,
+        "diagnostics: {in_models:?}"
+    );
+}
+
+#[test]
+fn layering_fixture_fires_on_inverted_dependencies() {
+    let src = include_str!("fixtures/bad_layering.rs");
+    // tensor must not reach up into train or bench; par is fine.
+    let in_tensor = rules_fired("crates/tensor/src/bad_layering.rs", src);
+    assert_eq!(
+        count(&in_tensor, Rule::CrateLayering),
+        2,
+        "diagnostics: {in_tensor:?}"
+    );
+    // models may depend on train, but not on bench — and not on par, which
+    // it reaches only indirectly through the train pipeline.
+    let in_models = rules_fired("crates/models/src/bad_layering.rs", src);
+    assert_eq!(
+        count(&in_models, Rule::CrateLayering),
+        2,
+        "diagnostics: {in_models:?}"
+    );
+}
+
+#[test]
+fn dead_and_unjustified_allowlist_entries_are_reported() {
+    let allow = mhg_lint::parse_allowlist(
+        "# justified but matches nothing\n\
+         no-panic crates/models/src/gone.rs .unwrap()\n\
+         \n\
+         unseeded-rng crates/models/src/bad_rng.rs thread_rng\n",
+    );
+    let diags = mhg_lint::scan_file(
+        "crates/models/src/bad_rng.rs",
+        include_str!("fixtures/bad_rng.rs"),
+    );
+    let audit = mhg_lint::audit_allowlist(&allow, &diags);
+    let rules: Vec<&str> = audit.iter().map(|d| d.rule.name()).collect();
+    assert!(rules.contains(&"dead-allow"), "audit: {audit:?}");
+    assert!(rules.contains(&"unjustified-allow"), "audit: {audit:?}");
+}
+
 #[test]
 fn workspace_is_clean_under_allowlist() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -244,6 +379,18 @@ fn workspace_is_clean_under_allowlist() {
         open.is_empty(),
         "workspace has unsuppressed lint violations:\n{}",
         open.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+    // The allowlist itself must be healthy: every entry matches a live
+    // diagnostic and carries a justification comment.
+    let audit = mhg_lint::audit_allowlist(&allow, &diags);
+    assert!(
+        audit.is_empty(),
+        "lint.allow has dead or unjustified entries:\n{}",
+        audit
+            .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n"),

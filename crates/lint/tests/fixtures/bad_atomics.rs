@@ -1,0 +1,24 @@
+//! Fixture: atomic memory orderings. Never compiled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn relaxed_counter(cell: &AtomicU64) {
+    // Allowed in crates/obs, a violation everywhere else.
+    cell.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn strong_orderings(cell: &AtomicU64) -> u64 {
+    // Stronger-than-Relaxed always needs a justified allowlist entry.
+    cell.store(1, Ordering::Release);
+    cell.load(Ordering::Acquire) + cell.swap(2, Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_only(cell: &AtomicU64) -> u64 {
+        // OK: test code is exempt from the audit.
+        cell.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: iteration over hash-ordered collections. Never compiled.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn leaky(counts: &HashMap<String, usize>) -> usize {
+    let mut total = 0;
+    // BAD: hash order flows straight into the fold.
+    for (_k, v) in counts {
+        total += v;
+    }
+    // BAD: method-style iteration, same problem.
+    let first = counts.keys().next();
+    let _ = first;
+    total
+}
+
+pub fn sorted_is_fine(counts: &HashMap<String, usize>) -> Vec<String> {
+    // OK: the very next statement sorts the collected keys.
+    let mut keys: Vec<String> = counts.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+pub fn btree_rebind_is_fine(counts: &HashMap<String, usize>) -> usize {
+    // OK: draining into a BTreeMap restores a canonical order.
+    let ordered: BTreeMap<&String, &usize> = counts.iter().collect();
+    ordered.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_only(counts: &HashMap<String, usize>) -> usize {
+        // OK: test code may iterate however it likes.
+        counts.values().sum()
+    }
+}

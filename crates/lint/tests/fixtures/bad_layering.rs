@@ -1,0 +1,14 @@
+//! Fixture: substrate-DAG layering. Never compiled.
+
+pub fn substrate_ok(units: usize) -> core::ops::Range<usize> {
+    // `par` is below every compute crate, so this reference is fine from
+    // tensor, autograd, train, …
+    mhg_par::split_range(units, 2, 0)
+}
+
+pub fn inverted_dependency() {
+    // A substrate crate reaching *up* into the pipeline inverts the DAG:
+    // fires when this file is scanned as part of tensor/autograd/par.
+    mhg_train::train_stub();
+    let _ = mhg_bench::HARNESS_VERSION;
+}

@@ -1,0 +1,34 @@
+//! Fixture: unchecked size arithmetic on persistence paths. Never compiled.
+
+pub fn encode(data: &[u8], rows: &Grid) -> Vec<u8> {
+    let mut out = Vec::new();
+    // BAD: silent narrowing of a length.
+    let n = data.len() as u32;
+    // BAD: silent narrowing of a dimension accessor.
+    let r = rows.rows() as u16;
+    // BAD: unchecked length multiplication.
+    let total = 8 * data.len();
+    out.extend_from_slice(&n.to_le_bytes());
+    out.extend_from_slice(&r.to_le_bytes());
+    out.truncate(total);
+    out
+}
+
+pub fn checked_encode(data: &[u8]) -> Vec<u8> {
+    // OK: narrowing guarded by an assert in the same statement.
+    let n = size_u32(data.len());
+    // OK: capacity computation is overflow-aware by construction.
+    let mut out = Vec::with_capacity(4 + 8 * data.len());
+    out.extend_from_slice(&n.to_le_bytes());
+    // OK: explicit checked multiplication.
+    let padded = data.len().checked_mul(8);
+    let _ = padded;
+    out
+}
+
+fn size_u32(n: usize) -> u32 {
+    // OK: the assert shares the statement with the cast, and the cast is
+    // of a plain variable, not a bare `len() as u32`.
+    assert!(u32::try_from(n).is_ok(), "size exceeds the u32 wire format");
+    n as u32
+}

@@ -1,0 +1,37 @@
+//! Pins the machine-readable JSON report format (satellite 4/5): CI and
+//! the problem matcher parse this shape, so any change must be deliberate
+//! and show up as a diff of `tests/golden_report.json`.
+
+use mhg_lint::{is_allowed, parse_allowlist, render_json, scan_file, Diagnostic};
+
+fn fixture_diags() -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(scan_file(
+        "crates/models/src/bad_multiline.rs",
+        include_str!("fixtures/bad_multiline.rs"),
+    ));
+    diags.extend(scan_file(
+        "crates/models/src/bad_atomics.rs",
+        include_str!("fixtures/bad_atomics.rs"),
+    ));
+    diags
+}
+
+#[test]
+fn json_report_matches_golden() {
+    let diags = fixture_diags();
+    // Suppress one finding through the allowlist so the golden pins the
+    // `"allowed": true` shape too.
+    let allow = parse_allowlist(
+        "# the relaxed counter in this fixture is the obs idiom under test\n\
+         atomic-ordering crates/models/src/bad_atomics.rs Ordering::Relaxed\n",
+    );
+    let (suppressed, reported): (Vec<_>, Vec<_>) =
+        diags.into_iter().partition(|d| is_allowed(d, &allow));
+    let got = render_json(&reported, &suppressed);
+    let want = include_str!("golden_report.json");
+    assert!(
+        got == want,
+        "JSON report drifted from tests/golden_report.json.\n--- got ---\n{got}\n--- want ---\n{want}"
+    );
+}

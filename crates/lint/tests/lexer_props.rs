@@ -1,0 +1,94 @@
+//! Property-based invariants for the lint lexer (satellite 4).
+//!
+//! The engine's correctness rests on two lexer guarantees: it never
+//! panics, and it is *lossless* — every byte of the source lands in
+//! exactly one token, in order, so concatenating token texts reproduces
+//! the input. Both are checked over arbitrary byte soup (via lossy UTF-8
+//! decoding) and over Rust-flavoured token soup that stresses the tricky
+//! productions (raw strings, block comments, lifetimes, float literals).
+
+use mhg_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Rust-flavoured fragments biased toward lexer edge cases.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("r#\"raw \"quote\" inside\"#".to_string()),
+        Just("r##\"nested \"# hash\"##".to_string()),
+        Just("r#ident".to_string()),
+        Just("/* block /* nested? */".to_string()),
+        Just("// line comment".to_string()),
+        Just("/// doc comment".to_string()),
+        Just("'a".to_string()),
+        Just("'x'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("\"str with \\\" escape\"".to_string()),
+        Just("1_000.5e-3".to_string()),
+        Just("0xFF_u8".to_string()),
+        Just("Vec<Vec<u8>>".to_string()),
+        Just("a::b::<T>()".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("fn f() -> i32 { 0 }".to_string()),
+        Just("\u{1F980} unicode".to_string()),
+        Just("\"unterminated".to_string()),
+        Just("r#\"unterminated raw".to_string()),
+        Just("/* unterminated block".to_string()),
+        Just(" \t\n ".to_string()),
+        Just(String::new()),
+    ]
+}
+
+fn soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(fragment(), 0..12).prop_map(|parts| parts.join(" "))
+}
+
+/// Every byte in exactly one token, in order.
+fn assert_lossless(src: &str) {
+    let tokens = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        assert_eq!(t.start, prev_end, "gap or overlap at byte {prev_end}");
+        assert!(t.end > t.start, "empty token at byte {}", t.start);
+        rebuilt.push_str(t.text(src));
+        prev_end = t.end;
+    }
+    assert_eq!(prev_end, src.len(), "trailing bytes not lexed");
+    assert_eq!(rebuilt, src, "token round-trip lost bytes");
+}
+
+proptest! {
+    /// The lexer must survive (and stay lossless on) arbitrary bytes.
+    #[test]
+    fn lexing_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_lossless(&src);
+    }
+
+    /// Rust-flavoured soup: lossless, and line/col bookkeeping is sane.
+    #[test]
+    fn rust_soup_round_trips(src in soup()) {
+        assert_lossless(&src);
+        let tokens = lex(&src);
+        let mut prev = (1usize, 0usize);
+        for t in &tokens {
+            prop_assert!(t.line >= prev.0, "line numbers went backwards");
+            prev = (t.line, t.col);
+        }
+    }
+
+    /// String and char literals keep their quotes in `text()`, so a
+    /// literal can never be mistaken for an identifier needle.
+    #[test]
+    fn literals_are_never_bare_idents(src in soup()) {
+        for t in lex(&src) {
+            if matches!(t.kind, TokenKind::StrLit | TokenKind::RawStrLit | TokenKind::CharLit) {
+                let text = t.text(&src);
+                prop_assert!(
+                    !text.chars().all(|c| c.is_alphanumeric() || c == '_'),
+                    "literal {text:?} looks like an ident"
+                );
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Shared evaluation: classification metrics over labelled edges and
 //! ranking queries for PR@K / HR@K.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mhg_datasets::LabeledEdge;
 use mhg_eval::{best_f1_threshold, pr_auc, rank_candidates, roc_auc, RankedQuery};
@@ -72,12 +72,13 @@ pub fn ranking_queries(
     rng: &mut StdRng,
 ) -> Vec<QueryResult> {
     // Group positives by (source, relation).
-    let mut groups: HashMap<(NodeId, RelationId), Vec<NodeId>> = HashMap::new();
+    let mut groups: BTreeMap<(NodeId, RelationId), Vec<NodeId>> = BTreeMap::new();
     for e in test.iter().filter(|e| e.label) {
         groups.entry((e.u, e.relation)).or_default().push(e.v);
     }
+    // BTreeMap keys come out sorted, matching the explicit sort the
+    // HashMap version needed before the seeded shuffle.
     let mut keys: Vec<(NodeId, RelationId)> = groups.keys().copied().collect();
-    keys.sort_unstable();
     use rand::seq::SliceRandom;
     keys.shuffle(rng);
     keys.truncate(max_queries);

@@ -1,0 +1,182 @@
+//! Exhaustive-interleaving verification of the workspace's concurrency
+//! contracts (ISSUE 6 tentpole).
+//!
+//! Every test enumerates **all** schedules of its thread programs'
+//! atomic sub-operations — no sampling, no real threads — and compares
+//! each outcome against a serial replay on the real `mhg-obs` /
+//! `mhg-par` code paths. Negative tests run deliberately broken variants
+//! and assert the harness finds a diverging schedule, proving the
+//! enumeration has teeth.
+
+use mhg_race::hist::{record_steps, serial_snapshot, HistModel, TornCounter, TornOp};
+use mhg_race::reduce::{bits_eq, merge, Scatter};
+use mhg_race::{for_each_schedule, num_schedules, run_schedule};
+
+/// Counter merge: each thread is a sequence of indivisible `fetch_add`
+/// steps. Every interleaving of up to 3 threads must reach the serial
+/// total (commutativity of addition ⇒ schedule-invariance).
+#[test]
+fn counter_fetch_add_is_schedule_invariant() {
+    let per_thread: [Vec<u64>; 3] = [vec![1, 2, 3], vec![10, 20, 30], vec![100, 200, 300]];
+    let serial: u64 = per_thread.iter().flatten().sum();
+    let counts = [3, 3, 3];
+    assert_eq!(num_schedules(&counts), 1_680);
+
+    let mut explored = 0u64;
+    for_each_schedule(&counts, |schedule| {
+        let mut cell = 0u64;
+        run_schedule(&mut cell, &per_thread, schedule, |cell, _t, v| {
+            *cell += v; // one indivisible fetch_add
+        });
+        assert_eq!(cell, serial, "diverged on schedule {schedule:?}");
+        explored += 1;
+    });
+    assert_eq!(explored, 1_680);
+}
+
+/// Histogram merge: threads interleaved at the granularity of
+/// `record`'s four atomic sub-operations (bucket, count, sum, max).
+/// Every schedule must match the serial replay of the *real*
+/// `mhg_obs::Histogram`. Two shapes: three threads of one record each
+/// (34 650 schedules) and two threads of two + one records (495),
+/// covering bucket collisions, bucket boundaries (7 vs 8) and `u64::MAX`
+/// (wrapping sum, max saturation).
+#[test]
+fn histogram_record_subops_are_schedule_invariant() {
+    let shapes: [Vec<Vec<u64>>; 2] = [
+        vec![vec![7], vec![8], vec![u64::MAX]],
+        vec![vec![0, 7], vec![1_000]],
+    ];
+    let expected_counts = [34_650u64, 495];
+
+    for (per_thread, want) in shapes.iter().zip(expected_counts) {
+        let reference = serial_snapshot(per_thread);
+        let steps: Vec<_> = per_thread.iter().map(|v| record_steps(v)).collect();
+        let counts: Vec<usize> = steps.iter().map(Vec::len).collect();
+        assert_eq!(num_schedules(&counts), want);
+
+        let mut explored = 0u64;
+        for_each_schedule(&counts, |schedule| {
+            let mut model = HistModel::new();
+            run_schedule(&mut model, &steps, schedule, |m, _t, op| m.apply(op));
+            assert_eq!(
+                model.snapshot(),
+                reference,
+                "diverged on schedule {schedule:?}"
+            );
+            explored += 1;
+        });
+        assert_eq!(explored, want);
+    }
+}
+
+/// The harness must *detect* a real race: a counter whose increment is a
+/// non-atomic load-then-store pair loses updates under some schedules.
+#[test]
+fn torn_counter_race_is_detected() {
+    // Three threads, one increment each = one Load + one Store per thread.
+    let steps: Vec<Vec<TornOp>> = (0..3).map(|_| vec![TornOp::Load, TornOp::Store]).collect();
+    let counts = [2, 2, 2];
+    assert_eq!(num_schedules(&counts), 90);
+
+    let mut lost_updates = 0u64;
+    let mut correct = 0u64;
+    for_each_schedule(&counts, |schedule| {
+        let mut state = TornCounter::default();
+        run_schedule(&mut state, &steps, schedule, |s, t, op| s.apply(t, op));
+        if state.cell == 3 {
+            correct += 1;
+        } else {
+            assert!(state.cell < 3, "a torn counter can only lose updates");
+            lost_updates += 1;
+        }
+    });
+    // The fully serialized schedules (and only a minority overall) reach 3.
+    assert!(correct >= 6, "serialized schedules must still be correct");
+    assert!(
+        lost_updates > 0,
+        "harness failed to find the lost-update schedules of a torn counter"
+    );
+}
+
+/// The shipped reduction contract: workers own disjoint *destination*
+/// ranges (`mhg_par::split_range` over the destination span), so every
+/// destination's sum is built by exactly one worker in input order.
+/// Merging the partials in any completion order is bit-identical to the
+/// serial replay, for 1–3 workers.
+#[test]
+fn dest_partitioned_reduction_is_completion_order_invariant() {
+    // Values chosen so float addition is *non-associative* across them:
+    // (1e8 + 1.0) + -1e8 = 0.0 but 1e8 + (1.0 + -1e8) = 1.0.
+    let scatter = Scatter {
+        indices: vec![0, 1, 0, 2, 0, 1, 2, 0],
+        grad: vec![1.0e8, 3.0, 1.0, 0.5, -1.0e8, -3.0, 0.25, 2.5],
+        span: 3,
+    };
+    let serial = scatter.serial();
+
+    for workers in 1..=3 {
+        let partials: Vec<_> = (0..workers)
+            .map(|w| scatter.dest_partial(workers, w))
+            .collect();
+        // Every completion order = every permutation of the partials.
+        let one_each: Vec<usize> = vec![1; workers];
+        for_each_schedule(&one_each, |order| {
+            let merged = merge(scatter.span, &partials, order);
+            assert!(
+                bits_eq(&merged, &serial),
+                "dest-partitioned merge diverged: workers={workers} order={order:?} \
+                 got {merged:?} want {serial:?}"
+            );
+        });
+    }
+}
+
+/// The broken scheme the contract forbids: workers split the *input*
+/// rows, spreading one destination's sum across partials, so the merge
+/// (completion) order changes the float association. The harness must
+/// find an order whose result differs bitwise from the serial replay.
+#[test]
+fn input_partitioned_reduction_depends_on_completion_order() {
+    let scatter = Scatter {
+        indices: vec![0, 0, 0],
+        grad: vec![1.0e8, 1.0, -1.0e8],
+        span: 1,
+    };
+    let serial = scatter.serial();
+    assert_eq!(serial[0].to_bits(), 0.0f32.to_bits()); // (1e8 + 1) - 1e8 == 0.0
+
+    let workers = 3;
+    let partials: Vec<_> = (0..workers)
+        .map(|w| scatter.input_partial(workers, w))
+        .collect();
+    let mut diverging = 0u32;
+    let one_each: Vec<usize> = vec![1; workers];
+    for_each_schedule(&one_each, |order| {
+        let merged = merge(scatter.span, &partials, order);
+        if !bits_eq(&merged, &serial) {
+            diverging += 1;
+        }
+    });
+    assert!(
+        diverging > 0,
+        "input-partitioned completion-order merge unexpectedly deterministic"
+    );
+}
+
+/// `num_schedules` agrees with actual enumeration on every shape the
+/// suite uses, and `for_each_schedule` produces distinct schedules.
+#[test]
+fn schedule_enumeration_is_complete_and_distinct() {
+    for counts in [vec![2, 2], vec![3, 1], vec![2, 2, 2], vec![1, 1, 1]] {
+        let mut seen = std::collections::BTreeSet::new();
+        for_each_schedule(&counts, |s| {
+            assert!(seen.insert(s.to_vec()), "duplicate schedule {s:?}");
+        });
+        assert_eq!(
+            seen.len() as u64,
+            num_schedules(&counts),
+            "shape {counts:?}"
+        );
+    }
+}
