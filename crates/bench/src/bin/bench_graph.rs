@@ -1,0 +1,351 @@
+//! Graph-store benchmark: build / open / walk throughput for the sharded,
+//! chunk-paged [`ShardedCsr`] backend at the 10×-scale synthetic tier,
+//! written machine-readably to `BENCH_graph.json` at the repo root so future
+//! PRs can measure substrate regressions against this baseline.
+//!
+//! Flags:
+//! * `--scale F` — tier scale; `1.0` is the 10M-candidate-edge target
+//!   (default 1.0).
+//! * `--seed N` — generator seed (default 2022).
+//! * `--store ram|sharded|both` — backends to measure (default `sharded`).
+//!   `both` additionally cross-checks walk-stream parity between the
+//!   backends and is only sensible at scales whose in-RAM graph fits.
+//! * `--walks N` / `--walk-len N` — walk workload (default 20000 × 10).
+//! * `--threads N` — pool width for the walk pass (default
+//!   `max(MHG_THREADS, 4)`).
+//! * `--page-budget-mb N` / `--build-budget-mb N` — paging and wave-build
+//!   RAM caps (default 64 / 32 MiB).
+//! * `--shard-cap N` — targets per shard file (default 65536).
+//! * `--dir PATH` — store directory (default under the system temp dir;
+//!   left on disk for inspection).
+//! * `--out PATH` — output path (default `<repo root>/BENCH_graph.json`).
+//!
+//! The sharded backend runs first so its `vm_hwm_kb` reading (peak RSS,
+//! from `/proc/self/status`) is not inflated by a prior in-RAM
+//! materialisation. `streams_under_disk` records the tentpole property:
+//! page budget + resident metadata strictly below the on-disk store size.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mhg_datasets::SyntheticTier;
+use mhg_graph::{GraphStore, NodeId, ShardedCsr, ShardedCsrOptions};
+use mhg_sampling::{sharded_over, UniformWalker, Walk};
+
+/// One backend's measurement row; paging fields are `None` for `ram`.
+struct StoreRun {
+    store: &'static str,
+    build_s: f64,
+    open_s: Option<f64>,
+    verify_s: Option<f64>,
+    walk_s: f64,
+    walks_per_s: f64,
+    steps_per_s: f64,
+    walk_hash: u64,
+    on_disk_bytes: Option<u64>,
+    resident_metadata_bytes: Option<usize>,
+    page_loads: Option<u64>,
+    page_hits: Option<u64>,
+    page_evictions: Option<u64>,
+    page_peak_bytes: Option<usize>,
+    streams_under_disk: Option<bool>,
+    vm_hwm_kb: Option<u64>,
+}
+
+fn flag(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Peak resident set size in KiB, from `/proc/self/status` (Linux only).
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// FNV-1a over the concatenated walk stream; matches the parity-test
+/// convention (walks delimited by `u32::MAX`, which no node id reaches).
+fn hash_walks(walks: &[Walk]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: u32| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for w in walks {
+        for &v in w {
+            eat(v.0);
+        }
+        eat(u32::MAX);
+    }
+    h
+}
+
+/// Runs the timed walk workload and returns `(seconds, steps, hash)`.
+fn walk_pass<G: GraphStore>(
+    graph: &G,
+    seed: u64,
+    num_walks: usize,
+    walk_len: usize,
+    threads: usize,
+) -> (f64, usize, u64) {
+    let num_nodes = graph.num_nodes();
+    let starts: Vec<NodeId> = (0..num_walks)
+        .map(|i| NodeId((i % num_nodes) as u32))
+        .collect();
+    let walker = UniformWalker::new(graph);
+    let start = Instant::now();
+    let walks = mhg_par::with_threads(threads, || {
+        sharded_over(seed, &starts, |chunk, rng| {
+            chunk
+                .iter()
+                .map(|&s| walker.walk(s, walk_len, rng))
+                .collect::<Vec<Walk>>()
+        })
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let steps: usize = walks.iter().map(Vec::len).sum();
+    (secs, steps, hash_walks(&walks))
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let scale: f64 = flag("--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let seed: u64 = flag("--seed").and_then(|s| s.parse().ok()).unwrap_or(2022);
+    let store = flag("--store").unwrap_or_else(|| "sharded".to_string());
+    assert!(
+        matches!(store.as_str(), "ram" | "sharded" | "both"),
+        "--store must be ram|sharded|both, got {store:?}"
+    );
+    let num_walks: usize = flag("--walks")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let walk_len: usize = flag("--walk-len")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let threads: usize = flag("--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| mhg_par::current_threads().max(4));
+    let page_budget: usize = flag("--page-budget-mb")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+        << 20;
+    let build_budget: usize = flag("--build-budget-mb")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+        << 20;
+    let shard_cap: usize = flag("--shard-cap")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 16);
+    let dir: PathBuf = flag("--dir").map_or_else(
+        || std::env::temp_dir().join("mhg_bench_graph"),
+        PathBuf::from,
+    );
+    let out_path: PathBuf = flag("--out").map_or_else(
+        || {
+            // crates/bench → workspace root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_graph.json")
+        },
+        PathBuf::from,
+    );
+
+    let tier = SyntheticTier::taobao(scale, seed);
+    let candidate_edges = tier.total_edges();
+    eprintln!(
+        "bench_graph: scale {scale} ({candidate_edges} candidate edges), store {store}, \
+         {num_walks} walks x {walk_len}, {threads} threads"
+    );
+
+    let opts = ShardedCsrOptions {
+        shard_target_cap: shard_cap,
+        page_budget_bytes: page_budget,
+        build_budget_bytes: build_budget,
+    };
+    let walk_seed = seed ^ 0x9e37_79b9;
+    let mut runs: Vec<StoreRun> = Vec::new();
+    let mut num_nodes = 0usize;
+    let mut stored_edges = 0usize;
+
+    if store != "ram" {
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Instant::now();
+        let built = ShardedCsr::build(&tier, &dir, opts).expect("sharded build");
+        let build_s = t.elapsed().as_secs_f64();
+        eprintln!(
+            "  sharded: built {} in {build_s:.1}s ({:.0} edges/s)",
+            dir.display(),
+            candidate_edges as f64 / build_s.max(1e-9)
+        );
+        drop(built);
+
+        let t = Instant::now();
+        let sharded = ShardedCsr::open(&dir, opts).expect("sharded open");
+        let open_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        sharded.verify().expect("sharded verify");
+        let verify_s = t.elapsed().as_secs_f64();
+        num_nodes = GraphStore::num_nodes(&sharded);
+        stored_edges = GraphStore::num_edges(&sharded);
+
+        let (walk_s, steps, walk_hash) =
+            walk_pass(&sharded, walk_seed, num_walks, walk_len, threads);
+        let stats = sharded.page_stats();
+        let on_disk = sharded.on_disk_bytes().expect("on-disk size");
+        let metadata = sharded.resident_metadata_bytes();
+        let working = page_budget + metadata;
+        eprintln!(
+            "  sharded: open {open_s:.2}s, verify {verify_s:.2}s, walks {:.0}/s \
+             ({:.0} steps/s), pages {}/{} hit, {} evictions, peak {} B",
+            num_walks as f64 / walk_s.max(1e-9),
+            steps as f64 / walk_s.max(1e-9),
+            stats.hits,
+            stats.hits + stats.loads,
+            stats.evictions,
+            stats.peak_bytes
+        );
+        eprintln!(
+            "  sharded: working set {working} B (budget {page_budget} + metadata {metadata}) \
+             vs {on_disk} B on disk"
+        );
+        runs.push(StoreRun {
+            store: "sharded",
+            build_s,
+            open_s: Some(open_s),
+            verify_s: Some(verify_s),
+            walk_s,
+            walks_per_s: num_walks as f64 / walk_s.max(1e-9),
+            steps_per_s: steps as f64 / walk_s.max(1e-9),
+            walk_hash,
+            on_disk_bytes: Some(on_disk),
+            resident_metadata_bytes: Some(metadata),
+            page_loads: Some(stats.loads),
+            page_hits: Some(stats.hits),
+            page_evictions: Some(stats.evictions),
+            page_peak_bytes: Some(stats.peak_bytes),
+            streams_under_disk: Some((working as u64) < on_disk),
+            vm_hwm_kb: vm_hwm_kb(),
+        });
+    }
+
+    if store != "sharded" {
+        let t = Instant::now();
+        let ram = tier.materialize();
+        let build_s = t.elapsed().as_secs_f64();
+        num_nodes = ram.num_nodes();
+        stored_edges = ram.num_edges();
+        let (walk_s, steps, walk_hash) = walk_pass(&ram, walk_seed, num_walks, walk_len, threads);
+        eprintln!(
+            "  ram: materialized in {build_s:.1}s, walks {:.0}/s ({:.0} steps/s)",
+            num_walks as f64 / walk_s.max(1e-9),
+            steps as f64 / walk_s.max(1e-9)
+        );
+        runs.push(StoreRun {
+            store: "ram",
+            build_s,
+            open_s: None,
+            verify_s: None,
+            walk_s,
+            walks_per_s: num_walks as f64 / walk_s.max(1e-9),
+            steps_per_s: steps as f64 / walk_s.max(1e-9),
+            walk_hash,
+            on_disk_bytes: None,
+            resident_metadata_bytes: None,
+            page_loads: None,
+            page_hits: None,
+            page_evictions: None,
+            page_peak_bytes: None,
+            streams_under_disk: None,
+            vm_hwm_kb: vm_hwm_kb(),
+        });
+    }
+
+    let parity = if runs.len() == 2 {
+        let ok = runs[0].walk_hash == runs[1].walk_hash;
+        assert!(
+            ok,
+            "walk streams diverged between backends: {:#018x} vs {:#018x}",
+            runs[0].walk_hash, runs[1].walk_hash
+        );
+        eprintln!("  parity: walk streams identical across backends");
+        Some(ok)
+    } else {
+        None
+    };
+
+    let opt_u64 = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+    let opt_usize = |v: Option<usize>| v.map_or("null".to_string(), |x| x.to_string());
+    let opt_f64 = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.3}"));
+    let opt_bool = |v: Option<bool>| v.map_or("null".to_string(), |x| x.to_string());
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run -p mhg-bench --release --bin bench_graph\","
+    );
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"num_nodes\": {num_nodes},");
+    let _ = writeln!(json, "  \"candidate_edges\": {candidate_edges},");
+    let _ = writeln!(json, "  \"stored_edges\": {stored_edges},");
+    let _ = writeln!(json, "  \"walk_starts\": {num_walks},");
+    let _ = writeln!(json, "  \"walk_len\": {walk_len},");
+    let _ = writeln!(json, "  \"shard_target_cap\": {shard_cap},");
+    let _ = writeln!(json, "  \"page_budget_bytes\": {page_budget},");
+    let _ = writeln!(json, "  \"build_budget_bytes\": {build_budget},");
+    let _ = writeln!(json, "  \"parity\": {},", opt_bool(parity));
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"store\": \"{}\",", r.store);
+        let _ = writeln!(json, "      \"build_s\": {:.3},", r.build_s);
+        let _ = writeln!(json, "      \"open_s\": {},", opt_f64(r.open_s));
+        let _ = writeln!(json, "      \"verify_s\": {},", opt_f64(r.verify_s));
+        let _ = writeln!(json, "      \"walk_s\": {:.3},", r.walk_s);
+        let _ = writeln!(json, "      \"walks_per_s\": {:.0},", r.walks_per_s);
+        let _ = writeln!(json, "      \"steps_per_s\": {:.0},", r.steps_per_s);
+        let _ = writeln!(json, "      \"walk_hash\": \"{:#018x}\",", r.walk_hash);
+        let _ = writeln!(
+            json,
+            "      \"on_disk_bytes\": {},",
+            opt_u64(r.on_disk_bytes)
+        );
+        let _ = writeln!(
+            json,
+            "      \"resident_metadata_bytes\": {},",
+            opt_usize(r.resident_metadata_bytes)
+        );
+        let _ = writeln!(json, "      \"page_loads\": {},", opt_u64(r.page_loads));
+        let _ = writeln!(json, "      \"page_hits\": {},", opt_u64(r.page_hits));
+        let _ = writeln!(
+            json,
+            "      \"page_evictions\": {},",
+            opt_u64(r.page_evictions)
+        );
+        let _ = writeln!(
+            json,
+            "      \"page_peak_bytes\": {},",
+            opt_usize(r.page_peak_bytes)
+        );
+        let _ = writeln!(
+            json,
+            "      \"streams_under_disk\": {},",
+            opt_bool(r.streams_under_disk)
+        );
+        let _ = writeln!(json, "      \"vm_hwm_kb\": {}", opt_u64(r.vm_hwm_kb));
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    mhg_ckpt::atomic_write(&out_path, json.as_bytes()).expect("write BENCH_graph.json");
+    eprintln!("wrote {}", out_path.display());
+}

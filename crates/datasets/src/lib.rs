@@ -34,8 +34,10 @@ mod kuaishou;
 mod split;
 mod synth;
 mod taobao;
+mod tier;
 mod youtube;
 
 pub use dataset::{Dataset, DatasetKind};
 pub use split::{EdgeSplit, LabeledEdge, SplitConfig};
 pub use synth::{zipf_activity, Communities, EdgeSampler};
+pub use tier::SyntheticTier;

@@ -1,0 +1,248 @@
+//! The 10×-scale synthetic tier: a functionally-defined edge stream for
+//! graphs too large to hold as edge lists.
+//!
+//! The five Table-II generators materialise a [`MultiplexGraph`] in RAM,
+//! which caps them at a few hundred thousand edges. [`SyntheticTier`]
+//! instead *is* the graph definition: every edge is a pure function of
+//! `(seed, relation, chunk, draw)`, so the stream can be replayed any
+//! number of times at a fixed cost of O(1) memory. That is exactly the
+//! [`EdgeSource`] contract the sharded store's wave builder needs — it
+//! re-streams the source once per wave instead of spilling edges to disk.
+//!
+//! The planted structure mirrors `synth.rs` in spirit with arithmetic in
+//! place of tables: node `i` of a group belongs to community `i mod k`, and
+//! an edge keeps its endpoints in one community with probability
+//! `1 − noise_r`. Relations share the assignment, so the inter-relationship
+//! correlation the paper's uplift experiment measures survives the scale-up.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mhg_graph::{EdgeSource, GraphBuilder, MultiplexGraph, NodeId, NodeTypeId, RelationId, Schema};
+use mhg_sampling::derive_seed;
+
+/// Edges drawn per RNG chunk. Fixed so the stream decomposition — and the
+/// stream itself — never depends on thread count or caller batching.
+const EDGE_CHUNK: usize = 1 << 16;
+
+/// A deterministic, re-streamable user–item multiplex graph defined by its
+/// generator parameters instead of stored edges.
+#[derive(Clone, Debug)]
+pub struct SyntheticTier {
+    schema: Schema,
+    num_users: usize,
+    num_items: usize,
+    edges_per_relation: Vec<usize>,
+    noise_per_relation: Vec<f32>,
+    num_communities: usize,
+    seed: u64,
+}
+
+impl SyntheticTier {
+    /// Taobao-shaped tier at `scale` of the 10×-target size: at
+    /// `scale = 1.0` this is 800k users, 200k items and 10M candidate edges
+    /// over the four behaviour relations (`view`/`cart`/`buy`/`fav`, graded
+    /// 64/16/12/8%). Small scales (`0.001`) are cheap enough for unit tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn taobao(scale: f64, seed: u64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive, got {scale}"
+        );
+        let scaled = |base: usize, floor: usize| ((base as f64 * scale) as usize).max(floor);
+        let mut schema = Schema::new();
+        schema.add_node_type("user");
+        schema.add_node_type("item");
+        for name in ["view", "cart", "buy", "fav"] {
+            schema.add_relation(name);
+        }
+        let num_communities = scaled(800, 8);
+        Self {
+            schema,
+            num_users: scaled(800_000, 4 * num_communities),
+            num_items: scaled(200_000, 2 * num_communities),
+            edges_per_relation: vec![
+                scaled(6_400_000, 64),
+                scaled(1_600_000, 16),
+                scaled(1_200_000, 12),
+                scaled(800_000, 8),
+            ],
+            noise_per_relation: vec![0.10, 0.05, 0.05, 0.15],
+            num_communities,
+            seed,
+        }
+    }
+
+    /// Candidate edges across all relations (before CSR deduplication).
+    pub fn total_edges(&self) -> usize {
+        self.edges_per_relation.iter().sum()
+    }
+
+    /// Candidate edges per relation, in relation-id order.
+    pub fn edges_per_relation(&self) -> &[usize] {
+        &self.edges_per_relation
+    }
+
+    /// The generator seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the equivalent in-RAM graph by replaying the stream through
+    /// [`GraphBuilder`]. Intended for small scales (tests, parity checks);
+    /// at full scale use `ShardedCsr::build(&tier, …)` instead.
+    pub fn materialize(&self) -> MultiplexGraph {
+        let mut b = GraphBuilder::new(self.schema.clone());
+        let user = NodeTypeId(0);
+        let item = NodeTypeId(1);
+        for _ in 0..self.num_users {
+            b.add_node(user);
+        }
+        for _ in 0..self.num_items {
+            b.add_node(item);
+        }
+        self.for_each_edge(&mut |r, u, v| {
+            b.add_edge(u, v, r);
+        });
+        b.build()
+    }
+
+    /// Items with local index ≡ `c` (mod `k`): `ceil((num_items − c) / k)`.
+    fn items_in_community(&self, c: usize) -> usize {
+        (self.num_items - c).div_ceil(self.num_communities)
+    }
+}
+
+impl EdgeSource for SyntheticTier {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_users + self.num_items
+    }
+
+    fn node_type_of(&self, v: NodeId) -> NodeTypeId {
+        if v.index() < self.num_users {
+            NodeTypeId(0)
+        } else {
+            NodeTypeId(1)
+        }
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(RelationId, NodeId, NodeId)) {
+        let k = self.num_communities;
+        for (ri, (&count, &noise)) in self
+            .edges_per_relation
+            .iter()
+            .zip(&self.noise_per_relation)
+            .enumerate()
+        {
+            let r = RelationId(ri as u16);
+            let rel_seed = derive_seed(self.seed, ri as u64);
+            let chunks = count.div_ceil(EDGE_CHUNK);
+            for chunk in 0..chunks {
+                let mut rng = StdRng::seed_from_u64(derive_seed(rel_seed, chunk as u64));
+                let lo = chunk * EDGE_CHUNK;
+                let hi = (lo + EDGE_CHUNK).min(count);
+                for _ in lo..hi {
+                    let u_local = rng.gen_range(0..self.num_users);
+                    let c = u_local % k;
+                    let v_local = if rng.gen::<f32>() < noise {
+                        rng.gen_range(0..self.num_items)
+                    } else {
+                        c + rng.gen_range(0..self.items_in_community(c)) * k
+                    };
+                    f(
+                        r,
+                        NodeId(u_local as u32),
+                        NodeId((self.num_users + v_local) as u32),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_replayable_bit_identically() {
+        let tier = SyntheticTier::taobao(0.001, 7);
+        let mut a = Vec::new();
+        tier.for_each_edge(&mut |r, u, v| a.push((r, u, v)));
+        let mut b = Vec::new();
+        tier.for_each_edge(&mut |r, u, v| b.push((r, u, v)));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), tier.total_edges());
+    }
+
+    #[test]
+    fn endpoints_respect_types_and_ranges() {
+        let tier = SyntheticTier::taobao(0.001, 7);
+        let users = tier.num_users;
+        let total = tier.num_nodes();
+        tier.for_each_edge(&mut |_, u, v| {
+            assert!(u.index() < users, "left endpoint must be a user");
+            assert!(
+                (users..total).contains(&v.index()),
+                "right endpoint must be an item"
+            );
+        });
+        assert_eq!(tier.node_type_of(NodeId(0)), NodeTypeId(0));
+        assert_eq!(tier.node_type_of(NodeId(users as u32)), NodeTypeId(1));
+    }
+
+    #[test]
+    fn materialized_graph_matches_stream_counts() {
+        let tier = SyntheticTier::taobao(0.001, 11);
+        let g = tier.materialize();
+        assert_eq!(g.num_nodes(), tier.num_nodes());
+        assert_eq!(g.schema().num_relations(), 4);
+        // CSR dedup can only shrink the candidate counts.
+        for (ri, &cand) in tier.edges_per_relation().iter().enumerate() {
+            let stored = g.num_edges_in(RelationId(ri as u16));
+            assert!(stored <= cand, "relation {ri}: {stored} > {cand}");
+            assert!(stored > 0, "relation {ri} is empty");
+        }
+    }
+
+    #[test]
+    fn communities_correlate_relations() {
+        // With low noise, most edges stay within a community, so the
+        // community residues of the two endpoints agree far more often
+        // than the 1/k chance level.
+        let tier = SyntheticTier::taobao(0.001, 13);
+        let k = tier.num_communities;
+        let mut same = 0usize;
+        let mut total = 0usize;
+        tier.for_each_edge(&mut |_, u, v| {
+            let cu = u.index() % k;
+            let cv = (v.index() - tier.num_users) % k;
+            total += 1;
+            if cu == cv {
+                same += 1;
+            }
+        });
+        assert!(
+            same as f64 / total as f64 > 0.5,
+            "community correlation lost: {same}/{total}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticTier::taobao(0.001, 1);
+        let b = SyntheticTier::taobao(0.001, 2);
+        let mut ea = Vec::new();
+        a.for_each_edge(&mut |r, u, v| ea.push((r, u, v)));
+        let mut eb = Vec::new();
+        b.for_each_edge(&mut |r, u, v| eb.push((r, u, v)));
+        assert_ne!(ea, eb);
+    }
+}

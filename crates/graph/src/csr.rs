@@ -76,12 +76,14 @@ impl Csr {
         })
     }
 
-    /// Raw offsets (for persistence).
+    /// Raw offsets (test-only; persistence streams via [`crate::GraphStore`]).
+    #[cfg(test)]
     pub(crate) fn offsets(&self) -> &[u32] {
         &self.offsets
     }
 
-    /// Raw targets (for persistence).
+    /// Raw targets (test-only; persistence streams via [`crate::GraphStore`]).
+    #[cfg(test)]
     pub(crate) fn targets(&self) -> &[NodeId] {
         &self.targets
     }

@@ -5,9 +5,13 @@
 //! connected under several relations simultaneously (the *multiplexity*
 //! property), plus metapath schemes and relation-specific subgraphs.
 //!
-//! Storage is one undirected CSR per relation, giving O(1) neighbor slices
-//! and O(log d) membership tests — the access patterns every sampler in
-//! `mhg-sampling` is built on.
+//! Storage comes in two interchangeable backends behind the [`GraphStore`]
+//! trait: the in-RAM [`MultiplexGraph`] (one undirected CSR per relation,
+//! O(1) neighbor slices, O(log d) membership tests) and the chunk-paged
+//! [`ShardedCsr`] (per-relation CSR shards on disk, paged through a
+//! byte-budgeted cache, for graphs larger than RAM). Every sampler in
+//! `mhg-sampling` is written against the trait and produces bit-identical
+//! walk streams over either backend.
 //!
 //! # Example
 //!
@@ -38,11 +42,17 @@ mod ids;
 mod metapath;
 pub mod persist;
 mod schema;
+pub mod shard_codec;
+mod sharded;
 mod stats;
+mod store;
 
 pub use csr::Csr;
 pub use graph::{GraphBuilder, MultiplexGraph};
 pub use ids::{NodeId, NodeTypeId, RelationId};
 pub use metapath::MetapathScheme;
 pub use schema::Schema;
+pub use shard_codec::ShardError;
+pub use sharded::{EdgeSource, PageStats, ShardedCsr, ShardedCsrOptions, MANIFEST_FILE};
 pub use stats::GraphStats;
+pub use store::GraphStore;

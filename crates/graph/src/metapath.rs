@@ -8,7 +8,8 @@
 
 use std::fmt;
 
-use crate::{MultiplexGraph, NodeId, NodeTypeId, RelationId, Schema};
+use crate::store::GraphStore;
+use crate::{NodeId, NodeTypeId, RelationId, Schema};
 
 /// A metapath scheme `P = o_0 -r_1-> o_1 … -r_n-> o_n`.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -133,8 +134,9 @@ impl MetapathScheme {
     }
 
     /// Checks whether a concrete node sequence is an instance of this scheme
-    /// in `graph` (paper Def. 4).
-    pub fn matches_instance(&self, graph: &MultiplexGraph, nodes: &[NodeId]) -> bool {
+    /// in `graph` (paper Def. 4). Works over any [`GraphStore`] backend —
+    /// in-RAM or sharded — with identical results.
+    pub fn matches_instance<G: GraphStore>(&self, graph: &G, nodes: &[NodeId]) -> bool {
         if nodes.len() != self.node_types.len() {
             return false;
         }
@@ -186,7 +188,7 @@ impl fmt::Debug for MetapathScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GraphBuilder;
+    use crate::{GraphBuilder, MultiplexGraph};
 
     fn uvu_setup() -> (MultiplexGraph, MetapathScheme) {
         let mut schema = Schema::new();

@@ -17,6 +17,7 @@ use std::path::Path;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::csr::Csr;
+use crate::store::GraphStore;
 use crate::{MultiplexGraph, NodeId, NodeTypeId, Schema};
 
 const MAGIC: &[u8; 4] = b"MHG1";
@@ -68,8 +69,12 @@ fn size_u16(n: usize, what: &str) -> u16 {
     n as u16
 }
 
-/// Serialises a graph to bytes.
-pub fn encode(graph: &MultiplexGraph) -> Bytes {
+/// Serialises any graph store to bytes.
+///
+/// The CSR sections are reconstructed from the [`GraphStore`] contract
+/// (degrees and sorted neighbor lists), so a [`crate::ShardedCsr`] snapshots
+/// to bytes identical to the in-RAM graph built from the same edges.
+pub fn encode<G: GraphStore>(graph: &G) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + graph.num_nodes() * 6 + graph.num_edges() * 10);
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
@@ -79,20 +84,28 @@ pub fn encode(graph: &MultiplexGraph) -> Bytes {
     put_str_list(&mut buf, schema.relation_names());
 
     buf.put_u32_le(size_u32(graph.num_nodes(), "node count"));
-    for v in graph.nodes() {
+    for v in graph.node_id_range().map(NodeId) {
         buf.put_u16_le(graph.node_type(v).0);
     }
 
-    for csr in graph.adjacency() {
-        let offsets = csr.offsets();
-        buf.put_u32_le(size_u32(offsets.len(), "CSR offset count"));
-        for &o in offsets {
-            buf.put_u32_le(o);
+    for r in schema.relations() {
+        buf.put_u32_le(size_u32(graph.num_nodes() + 1, "CSR offset count"));
+        let mut off = 0u32;
+        buf.put_u32_le(off);
+        for v in graph.node_id_range().map(NodeId) {
+            let d = size_u32(graph.degree(v, r), "node degree");
+            off = off
+                .checked_add(d)
+                .unwrap_or_else(|| size_u32(usize::MAX, "CSR offset"));
+            buf.put_u32_le(off);
         }
-        let targets = csr.targets();
-        buf.put_u32_le(size_u32(targets.len(), "CSR target count"));
-        for &t in targets {
-            buf.put_u32_le(t.0);
+        buf.put_u32_le(size_u32(graph.num_directed_edges_in(r), "CSR target count"));
+        for v in graph.node_id_range().map(NodeId) {
+            graph.with_neighbors(v, r, |ns| {
+                for &t in ns {
+                    buf.put_u32_le(t.0);
+                }
+            });
         }
     }
 

@@ -1,0 +1,497 @@
+//! On-disk wire format for the sharded CSR store.
+//!
+//! Two file kinds, both following the hardened `mhg-ckpt` codec discipline:
+//! a magic header, a version field, length-guarded reads, checked size
+//! narrowing on encode ([`size_u32`]/[`size_u16`]), and an FNV-1a 64
+//! checksum trailer over everything that precedes it. Writes go through
+//! `mhg_ckpt::atomic_write`; reads through `mhg_ckpt::read_file` (which
+//! carries the `mhg-faults` io_read injection site).
+//!
+//! ## Manifest (`manifest.mhgs`, magic `MHGS`)
+//!
+//! ```text
+//! "MHGS" | u16 version
+//! u16 #node-type names | (u16 len | bytes)*
+//! u16 #relation names  | (u16 len | bytes)*
+//! u32 num_nodes | u16 node_type * num_nodes
+//! per relation:
+//!     u32 shard_count | (u32 start | u32 end | u32 num_targets)*
+//!     u32 (num_nodes+1) global CSR offsets
+//! u64 fnv1a64 of all preceding bytes
+//! ```
+//!
+//! ## Shard (`r{R}-s{S}.shard`, magic `MHSH`)
+//!
+//! ```text
+//! "MHSH" | u16 version | u16 relation | u32 shard index
+//! u32 start | u32 end | u32 num_targets | u32 target * num_targets
+//! u64 fnv1a64 of all preceding bytes
+//! ```
+//!
+//! Decoding validates every length prefix against the bytes actually
+//! remaining *before* allocating, verifies the checksum trailer, and
+//! cross-checks shard payloads against the manifest metadata the caller
+//! already holds — corrupt, truncated or hostile input always yields a
+//! typed [`ShardError`], never a panic or a runaway allocation.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::{NodeId, NodeTypeId, Schema};
+
+/// Magic bytes of the manifest file.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"MHGS";
+/// Magic bytes of a shard file.
+pub const SHARD_MAGIC: &[u8; 4] = b"MHSH";
+/// Current format version (shared by manifest and shards).
+pub const VERSION: u16 = 1;
+
+/// Errors produced by the sharded-store codec and loader.
+#[derive(Debug)]
+pub enum ShardError {
+    /// An underlying filesystem read or write failed.
+    Io(std::io::Error),
+    /// The buffer did not start with the expected magic bytes.
+    BadMagic,
+    /// Format version not supported by this build.
+    UnsupportedVersion(u16),
+    /// The buffer ended prematurely or a length prefix exceeded it.
+    Truncated,
+    /// The checksum trailer did not match the payload.
+    ChecksumMismatch,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Structurally valid bytes that contradict themselves or the manifest.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard store I/O error: {e}"),
+            ShardError::BadMagic => write!(f, "not a sharded-graph file (bad magic)"),
+            ShardError::UnsupportedVersion(v) => write!(f, "unsupported shard format version {v}"),
+            ShardError::Truncated => write!(f, "shard data truncated or inconsistent length"),
+            ShardError::ChecksumMismatch => write!(f, "shard checksum mismatch"),
+            ShardError::BadUtf8 => write!(f, "invalid UTF-8 in shard manifest string"),
+            ShardError::Inconsistent(what) => write!(f, "inconsistent shard data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// Checked narrowing of a count to a `u32` wire field: a graph too large
+/// for the format must fail loudly instead of wrapping into a corrupt
+/// shard.
+pub(crate) fn size_u32(n: usize, what: &str) -> u32 {
+    assert!(
+        u32::try_from(n).is_ok(),
+        "encode: {what} {n} exceeds the u32 shard format"
+    );
+    n as u32
+}
+
+/// Checked narrowing of a count to a `u16` wire field.
+pub(crate) fn size_u16(n: usize, what: &str) -> u16 {
+    assert!(
+        u16::try_from(n).is_ok(),
+        "encode: {what} {n} exceeds the u16 shard format"
+    );
+    n as u16
+}
+
+/// Metadata of one shard: the contiguous node range `[start, end)` whose
+/// neighbor lists it holds, and the (deduplicated) target count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// First node id covered by the shard.
+    pub start: u32,
+    /// One past the last node id covered.
+    pub end: u32,
+    /// Number of targets stored (sum of covered degrees).
+    pub num_targets: u32,
+}
+
+/// Decoded manifest: everything the store keeps resident in RAM.
+#[derive(Debug)]
+pub struct Manifest {
+    /// The graph schema (node-type and relation vocabularies).
+    pub schema: Schema,
+    /// Per-node type tags.
+    pub node_types: Vec<NodeTypeId>,
+    /// Per-relation shard tables.
+    pub shards: Vec<Vec<ShardMeta>>,
+    /// Per-relation global CSR offsets (`num_nodes + 1` entries each).
+    pub offsets: Vec<Vec<u32>>,
+}
+
+/// Serialises a manifest.
+pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + m.node_types.len().saturating_mul(6));
+    buf.put_slice(MANIFEST_MAGIC);
+    buf.put_u16_le(VERSION);
+    put_str_list(&mut buf, m.schema.node_type_names());
+    put_str_list(&mut buf, m.schema.relation_names());
+    buf.put_u32_le(size_u32(m.node_types.len(), "node count"));
+    for &t in &m.node_types {
+        buf.put_u16_le(t.0);
+    }
+    for (shards, offsets) in m.shards.iter().zip(&m.offsets) {
+        buf.put_u32_le(size_u32(shards.len(), "shard count"));
+        for s in shards {
+            buf.put_u32_le(s.start);
+            buf.put_u32_le(s.end);
+            buf.put_u32_le(s.num_targets);
+        }
+        for &o in offsets {
+            buf.put_u32_le(o);
+        }
+    }
+    let sum = mhg_ckpt::fnv1a64(&buf);
+    buf.put_u64_le(sum);
+    buf.to_vec()
+}
+
+/// Deserialises and validates a manifest.
+pub fn decode_manifest(data: &[u8]) -> Result<Manifest, ShardError> {
+    let mut buf = check_trailer(data)?;
+    if buf.remaining() < 6 {
+        return Err(ShardError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MANIFEST_MAGIC {
+        return Err(ShardError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(ShardError::UnsupportedVersion(version));
+    }
+
+    let node_type_names = get_str_list(&mut buf)?;
+    let relation_names = get_str_list(&mut buf)?;
+    let mut schema = Schema::new();
+    for n in &node_type_names {
+        schema.add_node_type(n);
+    }
+    for r in &relation_names {
+        schema.add_relation(r);
+    }
+    if schema.num_node_types() != node_type_names.len()
+        || schema.num_relations() != relation_names.len()
+    {
+        // Duplicate names collapsed by interning — the manifest is corrupt.
+        return Err(ShardError::Inconsistent("duplicate schema names"));
+    }
+
+    let num_nodes = get_u32(&mut buf)? as usize;
+    if num_nodes
+        .checked_mul(2)
+        .is_none_or(|need| need > buf.remaining())
+    {
+        return Err(ShardError::Truncated);
+    }
+    let mut node_types = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let t = buf.get_u16_le();
+        if t as usize >= schema.num_node_types() {
+            return Err(ShardError::Inconsistent("node type out of range"));
+        }
+        node_types.push(NodeTypeId(t));
+    }
+
+    let mut shards = Vec::with_capacity(schema.num_relations());
+    let mut offsets = Vec::with_capacity(schema.num_relations());
+    for _ in 0..schema.num_relations() {
+        let n_shards = get_u32(&mut buf)? as usize;
+        if n_shards
+            .checked_mul(12)
+            .is_none_or(|need| need > buf.remaining())
+        {
+            return Err(ShardError::Truncated);
+        }
+        let mut table = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            table.push(ShardMeta {
+                start: get_u32(&mut buf)?,
+                end: get_u32(&mut buf)?,
+                num_targets: get_u32(&mut buf)?,
+            });
+        }
+        let n_off = num_nodes + 1;
+        if n_off
+            .checked_mul(4)
+            .is_none_or(|need| need > buf.remaining())
+        {
+            return Err(ShardError::Truncated);
+        }
+        let mut off = Vec::with_capacity(n_off);
+        for _ in 0..n_off {
+            off.push(buf.get_u32_le());
+        }
+        validate_relation(num_nodes, &table, &off)?;
+        shards.push(table);
+        offsets.push(off);
+    }
+    if buf.remaining() > 0 {
+        return Err(ShardError::Inconsistent("trailing bytes after manifest"));
+    }
+
+    Ok(Manifest {
+        schema,
+        node_types,
+        shards,
+        offsets,
+    })
+}
+
+/// Structural checks tying a relation's shard table to its offsets: shards
+/// are contiguous, cover `[0, num_nodes)`, and each shard's target count
+/// equals the offset span of its node range.
+fn validate_relation(num_nodes: usize, table: &[ShardMeta], off: &[u32]) -> Result<(), ShardError> {
+    if !off.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(ShardError::Inconsistent("offsets not monotone"));
+    }
+    if off[0] != 0 {
+        return Err(ShardError::Inconsistent("offsets must start at zero"));
+    }
+    let mut cursor = 0u32;
+    for s in table {
+        if s.start != cursor || s.end <= s.start || s.end as usize > num_nodes {
+            return Err(ShardError::Inconsistent("shard ranges not contiguous"));
+        }
+        let span = off[s.end as usize] - off[s.start as usize];
+        if span != s.num_targets {
+            return Err(ShardError::Inconsistent("shard target count mismatch"));
+        }
+        cursor = s.end;
+    }
+    let covered = cursor as usize == num_nodes;
+    let empty_ok = table.is_empty() && off[num_nodes] == 0;
+    if !covered && !empty_ok {
+        return Err(ShardError::Inconsistent("shards do not cover node range"));
+    }
+    Ok(())
+}
+
+/// Serialises one shard's targets.
+pub fn encode_shard(relation: u16, shard: u32, meta: &ShardMeta, targets: &[NodeId]) -> Vec<u8> {
+    assert!(
+        targets.len() == meta.num_targets as usize,
+        "encode: shard target slice must match its metadata"
+    );
+    let mut buf = BytesMut::with_capacity(32 + targets.len().saturating_mul(4));
+    buf.put_slice(SHARD_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(relation);
+    buf.put_u32_le(shard);
+    buf.put_u32_le(meta.start);
+    buf.put_u32_le(meta.end);
+    buf.put_u32_le(size_u32(targets.len(), "shard target count"));
+    for &t in targets {
+        buf.put_u32_le(t.0);
+    }
+    let sum = mhg_ckpt::fnv1a64(&buf);
+    buf.put_u64_le(sum);
+    buf.to_vec()
+}
+
+/// Deserialises one shard, cross-checking every header field against the
+/// manifest metadata the caller already trusts.
+pub fn decode_shard(
+    data: &[u8],
+    relation: u16,
+    shard: u32,
+    meta: &ShardMeta,
+    num_nodes: usize,
+) -> Result<Vec<NodeId>, ShardError> {
+    let mut buf = check_trailer(data)?;
+    if buf.remaining() < 20 {
+        return Err(ShardError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != SHARD_MAGIC {
+        return Err(ShardError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(ShardError::UnsupportedVersion(version));
+    }
+    if buf.get_u16_le() != relation || buf.get_u32_le() != shard {
+        return Err(ShardError::Inconsistent("shard identity mismatch"));
+    }
+    if buf.get_u32_le() != meta.start || buf.get_u32_le() != meta.end {
+        return Err(ShardError::Inconsistent("shard node range mismatch"));
+    }
+    let count = get_u32(&mut buf)? as usize;
+    if count != meta.num_targets as usize {
+        return Err(ShardError::Inconsistent("shard target count mismatch"));
+    }
+    // A hostile count is caught twice: against the manifest above, and
+    // against the bytes actually present before the allocation below.
+    if count
+        .checked_mul(4)
+        .is_none_or(|need| need != buf.remaining())
+    {
+        return Err(ShardError::Truncated);
+    }
+    let mut targets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let t = buf.get_u32_le();
+        if t as usize >= num_nodes {
+            return Err(ShardError::Inconsistent("target node out of range"));
+        }
+        targets.push(NodeId(t));
+    }
+    Ok(targets)
+}
+
+/// Verifies the 8-byte FNV-1a trailer and returns the payload before it.
+fn check_trailer(data: &[u8]) -> Result<&[u8], ShardError> {
+    if data.len() < 8 {
+        return Err(ShardError::Truncated);
+    }
+    let (payload, tail) = data.split_at(data.len() - 8);
+    let mut tail = tail;
+    let stored = tail.get_u64_le();
+    if mhg_ckpt::fnv1a64(payload) != stored {
+        return Err(ShardError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+fn put_str_list(buf: &mut BytesMut, items: &[String]) {
+    buf.put_u16_le(size_u16(items.len(), "string-list length"));
+    for s in items {
+        buf.put_u16_le(size_u16(s.len(), "string length"));
+        buf.put_slice(s.as_bytes());
+    }
+}
+
+fn get_str_list(buf: &mut &[u8]) -> Result<Vec<String>, ShardError> {
+    if buf.remaining() < 2 {
+        return Err(ShardError::Truncated);
+    }
+    let n = buf.get_u16_le() as usize;
+    // Every entry needs at least its 2-byte length prefix.
+    if n.checked_mul(2).is_none_or(|need| need > buf.remaining()) {
+        return Err(ShardError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 2 {
+            return Err(ShardError::Truncated);
+        }
+        let len = buf.get_u16_le() as usize;
+        if buf.remaining() < len {
+            return Err(ShardError::Truncated);
+        }
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        out.push(String::from_utf8(bytes).map_err(|_| ShardError::BadUtf8)?);
+    }
+    Ok(out)
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, ShardError> {
+    if buf.remaining() < 4 {
+        return Err(ShardError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        let mut schema = Schema::new();
+        schema.add_node_type("user");
+        schema.add_node_type("item");
+        schema.add_relation("view");
+        Manifest {
+            schema,
+            node_types: vec![NodeTypeId(0), NodeTypeId(0), NodeTypeId(1)],
+            shards: vec![vec![
+                ShardMeta {
+                    start: 0,
+                    end: 2,
+                    num_targets: 2,
+                },
+                ShardMeta {
+                    start: 2,
+                    end: 3,
+                    num_targets: 2,
+                },
+            ]],
+            offsets: vec![vec![0, 1, 2, 4]],
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = sample_manifest();
+        let bytes = encode_manifest(&m);
+        let m2 = decode_manifest(&bytes).expect("decode");
+        assert_eq!(m2.schema, m.schema);
+        assert_eq!(m2.node_types, m.node_types);
+        assert_eq!(m2.shards, m.shards);
+        assert_eq!(m2.offsets, m.offsets);
+    }
+
+    #[test]
+    fn shard_roundtrip() {
+        let meta = ShardMeta {
+            start: 0,
+            end: 2,
+            num_targets: 2,
+        };
+        let targets = vec![NodeId(2), NodeId(2)];
+        let bytes = encode_shard(0, 0, &meta, &targets);
+        let back = decode_shard(&bytes, 0, 0, &meta, 3).expect("decode");
+        assert_eq!(back, targets);
+    }
+
+    #[test]
+    fn shard_identity_cross_checked() {
+        let meta = ShardMeta {
+            start: 0,
+            end: 2,
+            num_targets: 2,
+        };
+        let bytes = encode_shard(0, 0, &meta, &[NodeId(2), NodeId(2)]);
+        assert!(matches!(
+            decode_shard(&bytes, 1, 0, &meta, 3),
+            Err(ShardError::ChecksumMismatch) | Err(ShardError::Inconsistent(_))
+        ));
+        assert!(matches!(
+            decode_shard(&bytes, 0, 7, &meta, 3),
+            Err(ShardError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_incoherent_tables() {
+        let mut m = sample_manifest();
+        m.shards[0][1].num_targets = 9; // contradicts the offsets
+        let bytes = encode_manifest(&m);
+        assert!(matches!(
+            decode_manifest(&bytes),
+            Err(ShardError::Inconsistent(_))
+        ));
+    }
+}

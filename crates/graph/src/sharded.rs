@@ -1,0 +1,561 @@
+//! [`ShardedCsr`]: a chunk-paged, on-disk CSR store for graphs larger than
+//! RAM.
+//!
+//! The store keeps only compact metadata resident — schema, per-node type
+//! tags, per-relation global CSR offsets and the shard tables — while the
+//! target arrays live in per-`(relation, shard)` files and are paged in on
+//! demand through a byte-budgeted FIFO cache. Each shard covers a
+//! *contiguous node range*, so every neighbor list lives entirely inside
+//! one shard and `with_neighbors` never stitches pages.
+//!
+//! Building never materialises the whole graph: [`ShardedCsr::build`]
+//! consumes a re-streamable [`EdgeSource`] in waves. Pass A streams the
+//! edges once to count per-node degree upper bounds and plan shard
+//! boundaries; each wave then re-streams the edges, collects only the
+//! directed edges landing in the wave's node ranges, sorts + dedups each
+//! neighbor list with exactly the semantics of `Csr::from_directed_edges`,
+//! and atomically writes the finished shard files. Peak memory is bounded
+//! by the wave budget plus the resident metadata — independent of the
+//! graph's total edge count.
+//!
+//! Determinism: neighbor lists are bit-identical to the in-RAM
+//! [`MultiplexGraph`] built from the same edges, so samplers driven by
+//! `derive_seed`-derived streams produce byte-identical walks over either
+//! backend (pinned by `crates/sampling/tests/store_parity.rs`).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::shard_codec::{self, Manifest, ShardError, ShardMeta};
+use crate::store::GraphStore;
+use crate::{MultiplexGraph, NodeId, NodeTypeId, RelationId, Schema};
+
+/// Tuning knobs for building and paging a [`ShardedCsr`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedCsrOptions {
+    /// Upper bound on directed targets per shard (pre-dedup). Smaller
+    /// shards mean cheaper page misses but more files.
+    pub shard_target_cap: usize,
+    /// Byte budget of the page cache. At least one page is always kept, so
+    /// a single oversized shard still loads.
+    pub page_budget_bytes: usize,
+    /// Byte budget of the build-time wave buffers (directed-edge staging).
+    pub build_budget_bytes: usize,
+}
+
+impl Default for ShardedCsrOptions {
+    fn default() -> Self {
+        Self {
+            // 64K targets ≈ 256 KiB per shard file.
+            shard_target_cap: 1 << 16,
+            page_budget_bytes: 32 << 20,
+            build_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+/// A streamable, repeatable source of undirected multiplex edges.
+///
+/// `for_each_edge` must be deterministic: the builder streams the source
+/// several times (once to count, once per wave) and every pass must observe
+/// the same edges. Duplicate edges are fine — they are deduplicated per
+/// neighbor list exactly as `GraphBuilder::build` does.
+pub trait EdgeSource: Sync {
+    /// The schema of the streamed graph.
+    fn schema(&self) -> &Schema;
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+    /// The type of node `v`.
+    fn node_type_of(&self, v: NodeId) -> NodeTypeId;
+    /// Streams every undirected edge `(r, u, v)` exactly once per call, in
+    /// a deterministic order.
+    fn for_each_edge(&self, f: &mut dyn FnMut(RelationId, NodeId, NodeId));
+}
+
+impl EdgeSource for MultiplexGraph {
+    fn schema(&self) -> &Schema {
+        MultiplexGraph::schema(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        MultiplexGraph::num_nodes(self)
+    }
+
+    fn node_type_of(&self, v: NodeId) -> NodeTypeId {
+        self.node_type(v)
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(RelationId, NodeId, NodeId)) {
+        for r in self.schema().relations() {
+            for (u, v) in self.edges_in(r) {
+                f(r, u, v);
+            }
+        }
+    }
+}
+
+/// Page-cache counters, exposed for the memory-bound tests and the graph
+/// benchmark. All byte figures count target payloads (4 bytes per entry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageStats {
+    /// Pages read and decoded from disk.
+    pub loads: u64,
+    /// Accesses served from the cache.
+    pub hits: u64,
+    /// Pages evicted to stay inside the budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+    /// High-water mark of resident bytes.
+    pub peak_bytes: usize,
+}
+
+struct PagerState {
+    pages: BTreeMap<(u16, u32), Arc<Vec<NodeId>>>,
+    fifo: VecDeque<(u16, u32)>,
+    stats: PageStats,
+}
+
+/// Byte-budgeted FIFO page cache over shard files.
+struct Pager {
+    budget: usize,
+    state: Mutex<PagerState>,
+}
+
+impl Pager {
+    fn new(budget: usize) -> Self {
+        Self {
+            budget: budget.max(1),
+            state: Mutex::new(PagerState {
+                pages: BTreeMap::new(),
+                fifo: VecDeque::new(),
+                stats: PageStats::default(),
+            }),
+        }
+    }
+
+    /// Fetches a page, loading it via `load` on a miss and evicting
+    /// oldest-first past the byte budget.
+    fn get(
+        &self,
+        key: (u16, u32),
+        load: impl FnOnce() -> Result<Vec<NodeId>, ShardError>,
+    ) -> Result<Arc<Vec<NodeId>>, ShardError> {
+        let mut st = lock_pager(&self.state);
+        if let Some(page) = st.pages.get(&key).map(Arc::clone) {
+            st.stats.hits += 1;
+            return Ok(page);
+        }
+        drop(st);
+        // Load outside the lock: a slow disk read must not serialize hits
+        // on other pages. A racing thread may load the same page; the
+        // second insert below simply wins and the loser's copy is dropped.
+        let page = Arc::new(load()?);
+        let bytes = page.len().saturating_mul(4);
+        let mut st = lock_pager(&self.state);
+        st.stats.loads += 1;
+        // Make room first, so resident_bytes (and its high-water mark) never
+        // exceeds the budget unless a single page is itself oversized.
+        while st.stats.resident_bytes.saturating_add(bytes) > self.budget && !st.fifo.is_empty() {
+            let Some(old) = st.fifo.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = st.pages.remove(&old) {
+                let freed = evicted.len().saturating_mul(4);
+                st.stats.resident_bytes = st.stats.resident_bytes.saturating_sub(freed);
+                st.stats.evictions += 1;
+            }
+        }
+        if st.pages.insert(key, Arc::clone(&page)).is_none() {
+            st.fifo.push_back(key);
+            st.stats.resident_bytes = st.stats.resident_bytes.saturating_add(bytes);
+        }
+        st.stats.peak_bytes = st.stats.peak_bytes.max(st.stats.resident_bytes);
+        Ok(page)
+    }
+
+    fn stats(&self) -> PageStats {
+        lock_pager(&self.state).stats
+    }
+}
+
+/// Recovers the pager mutex even if a panic poisoned it: the guarded state
+/// is a cache plus counters, both safe to reuse after an unwound access.
+fn lock_pager(m: &Mutex<PagerState>) -> std::sync::MutexGuard<'_, PagerState> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A sharded, chunk-paged CSR multiplex graph store.
+///
+/// Resident memory: schema + 2 bytes/node (types) + 4 bytes/node/relation
+/// (offsets) + shard tables. Target arrays are paged through a byte-budgeted
+/// cache, so graphs larger than RAM stream through walk generation.
+pub struct ShardedCsr {
+    dir: PathBuf,
+    schema: Schema,
+    node_types: Vec<NodeTypeId>,
+    nodes_by_type: Vec<Vec<NodeId>>,
+    shards: Vec<Vec<ShardMeta>>,
+    offsets: Vec<Vec<u32>>,
+    pager: Pager,
+}
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.mhgs";
+
+fn shard_file(dir: &Path, relation: u16, shard: u32) -> PathBuf {
+    dir.join(format!("r{relation}-s{shard}.shard"))
+}
+
+impl ShardedCsr {
+    /// Builds a sharded store under `dir` by streaming `source`, then opens
+    /// it. Existing shard files in `dir` are overwritten atomically.
+    pub fn build(
+        source: &impl EdgeSource,
+        dir: impl AsRef<Path>,
+        opts: ShardedCsrOptions,
+    ) -> Result<Self, ShardError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let num_nodes = source.num_nodes();
+        let schema = source.schema().clone();
+        let num_relations = schema.num_relations();
+
+        // Pass A: stream once, counting a per-node directed-degree upper
+        // bound per relation (duplicates still counted — dedup happens at
+        // shard build, so these are upper bounds for buffer sizing).
+        let mut ub: Vec<Vec<u32>> = (0..num_relations).map(|_| vec![0u32; num_nodes]).collect();
+        source.for_each_edge(&mut |r, u, v| {
+            let c = &mut ub[r.index()];
+            c[u.index()] = c[u.index()].saturating_add(1);
+            c[v.index()] = c[v.index()].saturating_add(1);
+        });
+
+        // Plan contiguous shard ranges per relation under the target cap.
+        let cap = opts.shard_target_cap.max(1) as u64;
+        let mut plan: Vec<Vec<ShardMeta>> = Vec::with_capacity(num_relations);
+        for counts in &ub {
+            let mut table = Vec::new();
+            let mut start = 0usize;
+            let mut acc = 0u64;
+            let mut any = false;
+            for (v, &c) in counts.iter().enumerate() {
+                if acc + u64::from(c) > cap && v > start {
+                    table.push(ShardMeta {
+                        start: shard_codec::size_u32(start, "shard start"),
+                        end: shard_codec::size_u32(v, "shard end"),
+                        num_targets: 0, // final count filled per wave
+                    });
+                    start = v;
+                    acc = 0;
+                }
+                acc += u64::from(c);
+                any = any || c > 0;
+            }
+            if num_nodes > start && any {
+                table.push(ShardMeta {
+                    start: shard_codec::size_u32(start, "shard start"),
+                    end: shard_codec::size_u32(num_nodes, "shard end"),
+                    num_targets: 0,
+                });
+            }
+            plan.push(table);
+        }
+
+        // Wave passes: materialise a bounded run of consecutive shards of
+        // one relation, re-streaming the source once per wave.
+        let mut offsets: Vec<Vec<u32>> = (0..num_relations)
+            .map(|_| Vec::with_capacity(num_nodes + 1))
+            .collect();
+        for off in &mut offsets {
+            off.push(0);
+        }
+        let budget_targets = (opts.build_budget_bytes / 4).max(opts.shard_target_cap.max(1));
+        for rel in 0..num_relations {
+            let table = &mut plan[rel];
+            let counts = &ub[rel];
+            let mut next_shard = 0usize;
+            while next_shard < table.len() {
+                // Extend the wave while the summed upper bounds fit.
+                let wave_start = next_shard;
+                let node_start = table[wave_start].start as usize;
+                let mut wave_targets = 0u64;
+                while next_shard < table.len() {
+                    let s = &table[next_shard];
+                    let ub_sum: u64 = counts[s.start as usize..s.end as usize]
+                        .iter()
+                        .map(|&c| u64::from(c))
+                        .sum();
+                    if next_shard > wave_start && wave_targets + ub_sum > budget_targets as u64 {
+                        break;
+                    }
+                    wave_targets += ub_sum;
+                    next_shard += 1;
+                }
+                let node_end = table[next_shard - 1].end as usize;
+
+                // Counting-sort staging: local offsets from the upper-bound
+                // degrees, then a second stream drops each target in place.
+                let span = node_end - node_start;
+                let mut local_off = Vec::with_capacity(span + 1);
+                local_off.push(0u64);
+                for &c in &counts[node_start..node_end] {
+                    let last = *local_off.last().unwrap_or(&0);
+                    local_off.push(last + u64::from(c));
+                }
+                let total = usize::try_from(*local_off.last().unwrap_or(&0))
+                    .map_err(|_| ShardError::Inconsistent("wave too large"))?;
+                let mut staging = vec![NodeId(0); total];
+                let mut cursor: Vec<u64> = local_off[..span].to_vec();
+                let rel_id = RelationId(shard_codec::size_u16(rel, "relation id"));
+                source.for_each_edge(&mut |r, u, v| {
+                    if r != rel_id {
+                        return;
+                    }
+                    for (src, dst) in [(u, v), (v, u)] {
+                        let i = src.index();
+                        if i >= node_start && i < node_end {
+                            let c = &mut cursor[i - node_start];
+                            staging[*c as usize] = dst;
+                            *c += 1;
+                        }
+                    }
+                });
+
+                // Per node: sort + dedup (the `Csr::from_directed_edges`
+                // semantics), compacting in place and extending the global
+                // offsets; then slice out and write each finished shard.
+                let mut compact = 0usize;
+                let mut shard_bounds = Vec::with_capacity(next_shard - wave_start);
+                let mut si = wave_start;
+                let mut shard_base = 0usize;
+                for local in 0..span {
+                    let (s, e) = (local_off[local] as usize, cursor[local] as usize);
+                    staging[s..e].sort_unstable();
+                    let mut prev: Option<NodeId> = None;
+                    let mut w = compact;
+                    for idx in s..e {
+                        let t = staging[idx];
+                        if prev != Some(t) {
+                            staging[w] = t;
+                            w += 1;
+                            prev = Some(t);
+                        }
+                    }
+                    let deg = w - compact;
+                    compact = w;
+                    let node = node_start + local;
+                    let prev_off = *offsets[rel].last().unwrap_or(&0);
+                    let deg32 = u32::try_from(deg)
+                        .ok()
+                        .and_then(|d| prev_off.checked_add(d))
+                        .ok_or(ShardError::Inconsistent("offsets overflow u32"))?;
+                    offsets[rel].push(deg32);
+                    if node + 1 == table[si].end as usize {
+                        shard_bounds.push((si, shard_base, compact));
+                        shard_base = compact;
+                        si += 1;
+                    }
+                }
+                for (shard_idx, lo, hi) in shard_bounds {
+                    let meta = ShardMeta {
+                        start: table[shard_idx].start,
+                        end: table[shard_idx].end,
+                        num_targets: shard_codec::size_u32(hi - lo, "shard target count"),
+                    };
+                    table[shard_idx] = meta;
+                    let bytes = shard_codec::encode_shard(
+                        shard_codec::size_u16(rel, "relation id"),
+                        shard_codec::size_u32(shard_idx, "shard index"),
+                        &meta,
+                        &staging[lo..hi],
+                    );
+                    mhg_ckpt::atomic_write(shard_file(dir, rel as u16, shard_idx as u32), &bytes)?;
+                }
+            }
+            // Nodes past the last shard (or all nodes of an edgeless
+            // relation) have zero degree.
+            let tail = *offsets[rel].last().unwrap_or(&0);
+            while offsets[rel].len() < num_nodes + 1 {
+                offsets[rel].push(tail);
+            }
+        }
+
+        // Node types are collected last (2 bytes/node, resident anyway).
+        let node_types: Vec<NodeTypeId> = (0..num_nodes)
+            .map(|i| source.node_type_of(NodeId(i as u32)))
+            .collect();
+        let manifest = Manifest {
+            schema,
+            node_types,
+            shards: plan,
+            offsets,
+        };
+        mhg_ckpt::atomic_write(
+            dir.join(MANIFEST_FILE),
+            &shard_codec::encode_manifest(&manifest),
+        )?;
+        Self::open(dir, opts)
+    }
+
+    /// Opens an existing sharded store. The manifest is read through
+    /// `mhg_ckpt::read_file` (the `mhg-faults` io_read site) and fully
+    /// validated; shard files are checksummed lazily on first page-in.
+    pub fn open(dir: impl AsRef<Path>, opts: ShardedCsrOptions) -> Result<Self, ShardError> {
+        let dir = dir.as_ref().to_path_buf();
+        let bytes = mhg_ckpt::read_file(dir.join(MANIFEST_FILE))?;
+        let m = shard_codec::decode_manifest(&bytes)?;
+        let mut nodes_by_type = vec![Vec::new(); m.schema.num_node_types()];
+        for (i, &ty) in m.node_types.iter().enumerate() {
+            nodes_by_type[ty.index()].push(NodeId(i as u32));
+        }
+        Ok(Self {
+            dir,
+            schema: m.schema,
+            node_types: m.node_types,
+            nodes_by_type,
+            shards: m.shards,
+            offsets: m.offsets,
+            pager: Pager::new(opts.page_budget_bytes),
+        })
+    }
+
+    /// The directory holding the manifest and shard files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current page-cache counters.
+    pub fn page_stats(&self) -> PageStats {
+        self.pager.stats()
+    }
+
+    /// Bytes of metadata held resident (node types, offsets, shard tables).
+    pub fn resident_metadata_bytes(&self) -> usize {
+        let offs: usize = self.offsets.iter().map(|o| o.len().saturating_mul(4)).sum();
+        let tables: usize = self.shards.iter().map(|t| t.len().saturating_mul(12)).sum();
+        self.node_types.len().saturating_mul(2) + offs + tables
+    }
+
+    /// Total size of the on-disk files (manifest + shards), in bytes.
+    pub fn on_disk_bytes(&self) -> Result<u64, ShardError> {
+        let mut total = std::fs::metadata(self.dir.join(MANIFEST_FILE))?.len();
+        for (rel, table) in self.shards.iter().enumerate() {
+            for shard in 0..table.len() {
+                total += std::fs::metadata(shard_file(&self.dir, rel as u16, shard as u32))?.len();
+            }
+        }
+        Ok(total)
+    }
+
+    /// Pages in every shard once, verifying checksums and manifest
+    /// consistency. A freshly copied or possibly damaged store can be
+    /// validated up front instead of failing mid-walk.
+    pub fn verify(&self) -> Result<(), ShardError> {
+        for (rel, table) in self.shards.iter().enumerate() {
+            for (shard, meta) in table.iter().enumerate() {
+                self.load_page(rel as u16, shard as u32, meta)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible neighbor access: `f` runs over the sorted neighbor slice,
+    /// or a typed error surfaces if the backing shard is missing or
+    /// corrupt.
+    pub fn try_with_neighbors<T>(
+        &self,
+        v: NodeId,
+        r: RelationId,
+        f: impl FnOnce(&[NodeId]) -> T,
+    ) -> Result<T, ShardError> {
+        let off = &self.offsets[r.index()];
+        let (s, e) = (off[v.index()] as usize, off[v.index() + 1] as usize);
+        if s == e {
+            return Ok(f(&[]));
+        }
+        let table = &self.shards[r.index()];
+        let si = match table.binary_search_by(|m| {
+            if v.0 < m.start {
+                std::cmp::Ordering::Greater
+            } else if v.0 >= m.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => i,
+            Err(_) => return Err(ShardError::Inconsistent("node outside every shard")),
+        };
+        let meta = &table[si];
+        let page = self.load_page(r.0, si as u32, meta)?;
+        let base = off[meta.start as usize] as usize;
+        let (lo, hi) = (s - base, e - base);
+        if hi > page.len() || lo > hi {
+            return Err(ShardError::Inconsistent("offsets exceed shard payload"));
+        }
+        Ok(f(&page[lo..hi]))
+    }
+
+    fn load_page(
+        &self,
+        relation: u16,
+        shard: u32,
+        meta: &ShardMeta,
+    ) -> Result<Arc<Vec<NodeId>>, ShardError> {
+        let num_nodes = self.node_types.len();
+        let path = shard_file(&self.dir, relation, shard);
+        self.pager.get((relation, shard), || {
+            let bytes = mhg_ckpt::read_file(&path)?;
+            shard_codec::decode_shard(&bytes, relation, shard, meta, num_nodes)
+        })
+    }
+}
+
+/// A paged store failure inside the infallible [`GraphStore`] API. The
+/// training pipeline's contained-sampler-panic recovery absorbs this;
+/// callers wanting typed errors use [`ShardedCsr::try_with_neighbors`] or
+/// [`ShardedCsr::verify`] instead.
+fn store_failure(e: ShardError) -> ! {
+    panic!("sharded graph store failure: {e}")
+}
+
+impl GraphStore for ShardedCsr {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    #[inline]
+    fn node_type(&self, v: NodeId) -> NodeTypeId {
+        self.node_types[v.index()]
+    }
+
+    fn nodes_of_type(&self, ty: NodeTypeId) -> &[NodeId] {
+        &self.nodes_by_type[ty.index()]
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId, r: RelationId) -> usize {
+        let off = &self.offsets[r.index()];
+        (off[v.index() + 1] - off[v.index()]) as usize
+    }
+
+    fn num_directed_edges_in(&self, r: RelationId) -> usize {
+        self.offsets[r.index()].last().copied().unwrap_or(0) as usize
+    }
+
+    fn with_neighbors<T>(&self, v: NodeId, r: RelationId, f: impl FnOnce(&[NodeId]) -> T) -> T {
+        match self.try_with_neighbors(v, r, f) {
+            Ok(t) => t,
+            Err(e) => store_failure(e),
+        }
+    }
+}

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use crate::{MultiplexGraph, RelationId};
+use crate::store::GraphStore;
+use crate::NodeId;
 
 /// Summary statistics of a multiplex heterogeneous graph.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,15 +24,28 @@ pub struct GraphStats {
     pub mean_degree: f64,
     /// Maximum total degree.
     pub max_degree: usize,
+    /// Mean degree per relation, in relation-id order.
+    pub mean_degree_per_relation: Vec<f64>,
+    /// Maximum degree per relation, in relation-id order.
+    pub max_degree_per_relation: Vec<usize>,
     /// Fraction of connected node pairs linked under ≥ 2 relations — a
     /// direct measure of the multiplexity property.
     pub multiplex_pair_fraction: f64,
 }
 
 impl GraphStats {
-    /// Computes statistics for a graph.
-    pub fn compute(graph: &MultiplexGraph) -> Self {
+    /// Computes statistics for any graph store.
+    ///
+    /// The degree distribution (total and per-relation mean/max) comes from
+    /// a single pass over the CSR offsets — `degree()` is offset
+    /// arithmetic, so no neighbor list is materialised or paged in for it.
+    /// The multiplexity fraction streams one node's neighborhood at a time
+    /// into a reused scratch buffer instead of building a global pair map,
+    /// so peak memory is bounded by the maximum degree, not `|E|`.
+    pub fn compute<G: GraphStore>(graph: &G) -> Self {
         let schema = graph.schema();
+        let num_nodes = graph.num_nodes();
+        let num_relations = schema.num_relations();
         let edges_per_relation: Vec<usize> =
             schema.relations().map(|r| graph.num_edges_in(r)).collect();
         let nodes_per_type: Vec<usize> = schema
@@ -39,43 +53,67 @@ impl GraphStats {
             .map(|t| graph.nodes_of_type(t).len())
             .collect();
 
-        let mut max_degree = 0;
+        // One pass over the offsets: total and per-relation degree stats.
+        let mut max_degree = 0usize;
         let mut degree_sum = 0usize;
-        for v in graph.nodes() {
-            let d = graph.total_degree(v);
-            max_degree = max_degree.max(d);
-            degree_sum += d;
+        let mut rel_max = vec![0usize; num_relations];
+        let mut rel_sum = vec![0usize; num_relations];
+        for v in graph.node_id_range().map(NodeId) {
+            let mut total = 0usize;
+            for r in schema.relations() {
+                let d = graph.degree(v, r);
+                rel_max[r.index()] = rel_max[r.index()].max(d);
+                rel_sum[r.index()] += d;
+                total += d;
+            }
+            max_degree = max_degree.max(total);
+            degree_sum += total;
         }
+        let denom = num_nodes.max(1) as f64;
+        let mean_degree_per_relation: Vec<f64> =
+            rel_sum.iter().map(|&s| s as f64 / denom).collect();
 
-        // Count pairs connected under ≥2 relations by scanning the sparsest
-        // relation's edges against the others.
+        // Multiplexity fraction without a global pair map: for each node,
+        // gather its forward neighbors (u > v) across relations into a
+        // scratch buffer; after sorting, a run of length k is one pair
+        // connected under k relations (per-relation lists are deduplicated).
         let mut multiplex_pairs = 0usize;
         let mut connected_pairs = 0usize;
-        let relations: Vec<RelationId> = schema.relations().collect();
-        // Collect each undirected pair once across relations.
-        let mut seen: std::collections::BTreeMap<(u32, u32), u32> =
-            std::collections::BTreeMap::new();
-        for &r in &relations {
-            for (u, v) in graph.edges_in(r) {
-                *seen.entry((u.0, v.0)).or_insert(0) += 1;
+        let mut scratch: Vec<NodeId> = Vec::new();
+        for v in graph.node_id_range().map(NodeId) {
+            scratch.clear();
+            for r in schema.relations() {
+                graph.with_neighbors(v, r, |ns| {
+                    let from = ns.partition_point(|&u| u <= v);
+                    scratch.extend_from_slice(&ns[from..]);
+                });
             }
-        }
-        for (_, count) in seen {
-            connected_pairs += 1;
-            if count >= 2 {
-                multiplex_pairs += 1;
+            scratch.sort_unstable();
+            let mut i = 0;
+            while i < scratch.len() {
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j] == scratch[i] {
+                    j += 1;
+                }
+                connected_pairs += 1;
+                if j - i >= 2 {
+                    multiplex_pairs += 1;
+                }
+                i = j;
             }
         }
 
         Self {
-            num_nodes: graph.num_nodes(),
+            num_nodes,
             num_edges: graph.num_edges(),
             num_node_types: schema.num_node_types(),
-            num_relations: schema.num_relations(),
+            num_relations,
             edges_per_relation,
             nodes_per_type,
-            mean_degree: degree_sum as f64 / graph.num_nodes().max(1) as f64,
+            mean_degree: degree_sum as f64 / denom,
             max_degree,
+            mean_degree_per_relation,
+            max_degree_per_relation: rel_max,
             multiplex_pair_fraction: multiplex_pairs as f64 / connected_pairs.max(1) as f64,
         }
     }
@@ -90,6 +128,15 @@ impl fmt::Display for GraphStats {
         )?;
         writeln!(f, "nodes/type: {:?}", self.nodes_per_type)?;
         writeln!(f, "edges/relation: {:?}", self.edges_per_relation)?;
+        writeln!(
+            f,
+            "degree/relation: mean {:?}, max {:?}",
+            self.mean_degree_per_relation
+                .iter()
+                .map(|d| (d * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            self.max_degree_per_relation
+        )?;
         write!(
             f,
             "mean degree {:.2}, max degree {}, multiplex pairs {:.1}%",
@@ -126,6 +173,9 @@ mod tests {
         assert_eq!(s.edges_per_relation, vec![2, 1]);
         assert_eq!(s.nodes_per_type, vec![3]);
         assert_eq!(s.max_degree, 3); // n1: two r0 + one r1
+        assert_eq!(s.max_degree_per_relation, vec![2, 1]);
+        assert!((s.mean_degree_per_relation[0] - 4.0 / 3.0).abs() < 1e-9);
+        assert!((s.mean_degree_per_relation[1] - 2.0 / 3.0).abs() < 1e-9);
         assert!((s.multiplex_pair_fraction - 0.5).abs() < 1e-9);
         assert!((s.mean_degree - 2.0).abs() < 1e-9);
     }
@@ -143,5 +193,6 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("|V|=2"));
         assert!(text.contains("|E|=1"));
+        assert!(text.contains("degree/relation"));
     }
 }

@@ -1,0 +1,200 @@
+//! The [`GraphStore`] abstraction: one neighbor-access contract shared by
+//! the in-RAM [`MultiplexGraph`] and the chunk-paged
+//! [`ShardedCsr`](crate::ShardedCsr).
+//!
+//! Every sampler and walker in `mhg-sampling` is written against this trait,
+//! so the same walk code runs over a graph held entirely in memory or over
+//! one streamed shard-by-shard from disk. The core primitive is
+//! [`GraphStore::with_neighbors`]: neighbor lists are exposed to a closure
+//! as a sorted `&[NodeId]` slice rather than returned by reference, which
+//! lets a paged backend hold the backing page alive only for the duration of
+//! the call.
+//!
+//! # Determinism contract
+//!
+//! Implementations must present *identical* neighbor lists for the same
+//! logical graph: sorted ascending, deduplicated, both directions of every
+//! undirected edge. Samplers draw RNG values against `degree`/`neighbor_at`,
+//! so any two conforming stores produce bit-identical walk streams from the
+//! same seeds (pinned by the golden-hash parity tests in
+//! `crates/sampling/tests/store_parity.rs`).
+
+use crate::{MultiplexGraph, NodeId, NodeTypeId, RelationId, Schema};
+
+/// Uniform read-only access to a multiplex heterogeneous graph.
+///
+/// `Sync` is a supertrait: walk generation shards work across the
+/// deterministic `mhg-par` pool, which shares the store by reference.
+pub trait GraphStore: Sync {
+    /// The graph's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Number of nodes (`|V|`).
+    fn num_nodes(&self) -> usize;
+
+    /// The type of node `v`.
+    fn node_type(&self, v: NodeId) -> NodeTypeId;
+
+    /// All nodes of type `ty`, in id order.
+    fn nodes_of_type(&self, ty: NodeTypeId) -> &[NodeId];
+
+    /// Degree of `v` under relation `r`. Must be O(1): offset arithmetic
+    /// only, no neighbor materialization.
+    fn degree(&self, v: NodeId, r: RelationId) -> usize;
+
+    /// Number of stored directed edges under relation `r` (twice the
+    /// undirected count).
+    fn num_directed_edges_in(&self, r: RelationId) -> usize;
+
+    /// Runs `f` over the sorted, deduplicated neighbor list of `v` under
+    /// `r`. The slice is only valid inside the closure — a paged backend may
+    /// evict the backing chunk afterwards.
+    fn with_neighbors<T>(&self, v: NodeId, r: RelationId, f: impl FnOnce(&[NodeId]) -> T) -> T;
+
+    // ---- provided methods -------------------------------------------------
+
+    /// The id range of all nodes; iterate with `.map(NodeId)`.
+    fn node_id_range(&self) -> std::ops::Range<u32> {
+        0..self.num_nodes() as u32
+    }
+
+    /// The `i`-th neighbor of `v` under `r` (lists are sorted ascending).
+    #[inline]
+    fn neighbor_at(&self, v: NodeId, r: RelationId, i: usize) -> NodeId {
+        self.with_neighbors(v, r, |ns| ns[i])
+    }
+
+    /// Appends the neighbor list of `v` under `r` to `out`.
+    fn push_neighbors(&self, v: NodeId, r: RelationId, out: &mut Vec<NodeId>) {
+        self.with_neighbors(v, r, |ns| out.extend_from_slice(ns));
+    }
+
+    /// Total degree of `v` across all relations.
+    fn total_degree(&self, v: NodeId) -> usize {
+        self.schema().relations().map(|r| self.degree(v, r)).sum()
+    }
+
+    /// Relations under which `v` has at least one neighbor — the support of
+    /// the paper's Eq. 1 relation-sampling distribution.
+    fn active_relations(&self, v: NodeId) -> Vec<RelationId> {
+        self.schema()
+            .relations()
+            .filter(|&r| self.degree(v, r) > 0)
+            .collect()
+    }
+
+    /// Whether `u` and `v` are connected under relation `r` (binary search
+    /// over the sorted neighbor list).
+    fn has_edge(&self, u: NodeId, v: NodeId, r: RelationId) -> bool {
+        self.with_neighbors(u, r, |ns| ns.binary_search(&v).is_ok())
+    }
+
+    /// Whether `u` and `v` are connected under *any* relation.
+    fn has_any_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.schema().relations().any(|r| self.has_edge(u, v, r))
+    }
+
+    /// Number of undirected edges under relation `r`.
+    fn num_edges_in(&self, r: RelationId) -> usize {
+        self.num_directed_edges_in(r) / 2
+    }
+
+    /// Number of undirected edges (`|E|`), summed over relations.
+    fn num_edges(&self) -> usize {
+        self.schema()
+            .relations()
+            .map(|r| self.num_edges_in(r))
+            .sum()
+    }
+}
+
+impl GraphStore for MultiplexGraph {
+    fn schema(&self) -> &Schema {
+        MultiplexGraph::schema(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        MultiplexGraph::num_nodes(self)
+    }
+
+    #[inline]
+    fn node_type(&self, v: NodeId) -> NodeTypeId {
+        MultiplexGraph::node_type(self, v)
+    }
+
+    fn nodes_of_type(&self, ty: NodeTypeId) -> &[NodeId] {
+        MultiplexGraph::nodes_of_type(self, ty)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId, r: RelationId) -> usize {
+        MultiplexGraph::degree(self, v, r)
+    }
+
+    fn num_directed_edges_in(&self, r: RelationId) -> usize {
+        self.adjacency()[r.index()].num_directed_edges()
+    }
+
+    #[inline]
+    fn with_neighbors<T>(&self, v: NodeId, r: RelationId, f: impl FnOnce(&[NodeId]) -> T) -> T {
+        f(self.neighbors(v, r))
+    }
+
+    #[inline]
+    fn neighbor_at(&self, v: NodeId, r: RelationId, i: usize) -> NodeId {
+        self.neighbors(v, r)[i]
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId, r: RelationId) -> bool {
+        MultiplexGraph::has_edge(self, u, v, r)
+    }
+
+    fn total_degree(&self, v: NodeId) -> usize {
+        MultiplexGraph::total_degree(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Schema};
+
+    fn tiny() -> MultiplexGraph {
+        let mut schema = Schema::new();
+        let user = schema.add_node_type("user");
+        let video = schema.add_node_type("video");
+        let like = schema.add_relation("like");
+        let comment = schema.add_relation("comment");
+        let mut b = GraphBuilder::new(schema);
+        let u0 = b.add_node(user);
+        let u1 = b.add_node(user);
+        let v = b.add_node(video);
+        b.add_edge(u0, v, like);
+        b.add_edge(u0, v, comment);
+        b.add_edge(u1, v, like);
+        b.build()
+    }
+
+    /// Exercises the trait surface through a generic fn, the way samplers do.
+    fn summarize<G: GraphStore>(g: &G) -> (usize, usize, usize, Vec<NodeId>) {
+        let like = g.schema().relation_id("like").unwrap();
+        let mut ns = Vec::new();
+        g.push_neighbors(NodeId(2), like, &mut ns);
+        (g.num_nodes(), g.num_edges(), g.total_degree(NodeId(0)), ns)
+    }
+
+    #[test]
+    fn trait_mirrors_inherent_api() {
+        let g = tiny();
+        let (n, e, d, ns) = summarize(&g);
+        assert_eq!(n, 3);
+        assert_eq!(e, 3);
+        assert_eq!(d, 2);
+        assert_eq!(ns, vec![NodeId(0), NodeId(1)]);
+        let like = GraphStore::schema(&g).relation_id("like").unwrap();
+        assert_eq!(GraphStore::neighbor_at(&g, NodeId(2), like, 1), NodeId(1));
+        assert!(GraphStore::has_any_edge(&g, NodeId(1), NodeId(2)));
+        assert_eq!(GraphStore::active_relations(&g, NodeId(1)), vec![like]);
+        assert_eq!(g.node_id_range(), 0..3);
+    }
+}

@@ -168,7 +168,10 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
         no_eprintln: krate != "obs" && !is_bin,
         ordered_iteration: true,
         atomic_relaxed_ok: krate == "obs",
-        unchecked_arith: krate == "ckpt" || rel_path == "crates/graph/src/persist.rs",
+        unchecked_arith: krate == "ckpt"
+            || rel_path == "crates/graph/src/persist.rs"
+            || rel_path == "crates/graph/src/shard_codec.rs"
+            || rel_path == "crates/graph/src/sharded.rs",
         layering: true,
     })
 }

@@ -324,6 +324,30 @@ fn unchecked_fixture_fires_on_persistence_paths_only() {
 }
 
 #[test]
+fn shard_len_fixture_fires_on_shard_codec_paths() {
+    let src = include_str!("fixtures/bad_shard_len.rs");
+    // In the shard codec: the bare `len() as u32` and `4 * len()`.
+    for path in [
+        "crates/graph/src/shard_codec.rs",
+        "crates/graph/src/sharded.rs",
+    ] {
+        let fired = rules_fired(path, src);
+        assert_eq!(
+            count(&fired, Rule::UncheckedArith),
+            2,
+            "diagnostics for {path}: {fired:?}"
+        );
+    }
+    // Other graph sources are outside the codec discipline.
+    let in_csr = rules_fired("crates/graph/src/csr.rs", src);
+    assert_eq!(
+        count(&in_csr, Rule::UncheckedArith),
+        0,
+        "diagnostics: {in_csr:?}"
+    );
+}
+
+#[test]
 fn layering_fixture_fires_on_inverted_dependencies() {
     let src = include_str!("fixtures/bad_layering.rs");
     // tensor must not reach up into train or bench; par is fine.

@@ -1,0 +1,31 @@
+//! Fixture: unchecked size arithmetic in the sharded-store codec paths.
+//! Never compiled.
+
+pub fn encode_shard(targets: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    // BAD: silent narrowing of a target count.
+    let count = targets.len() as u32;
+    // BAD: unchecked byte-size multiplication.
+    let bytes = 4 * targets.len();
+    out.extend_from_slice(&count.to_le_bytes());
+    out.reserve(bytes);
+    out
+}
+
+pub fn checked_shard(targets: &[u32]) -> Vec<u8> {
+    // OK: narrowing guarded by an assert in the same statement.
+    let count = size_u32(targets.len());
+    // OK: capacity computation is overflow-aware by construction.
+    let mut out = Vec::with_capacity(4 + 4 * targets.len());
+    out.extend_from_slice(&count.to_le_bytes());
+    // OK: explicit checked multiplication for the payload guard.
+    let payload = targets.len().checked_mul(4);
+    let _ = payload;
+    out
+}
+
+fn size_u32(n: usize) -> u32 {
+    // OK: the assert shares the statement with the cast.
+    assert!(u32::try_from(n).is_ok(), "size exceeds the u32 wire format");
+    n as u32
+}

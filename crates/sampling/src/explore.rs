@@ -13,18 +13,22 @@
 
 use rand::Rng;
 
-use mhg_graph::{MultiplexGraph, NodeId, RelationId};
+use mhg_graph::{GraphStore, MultiplexGraph, NodeId, RelationId};
 
 use crate::walks::Walk;
 
 /// The paper's two-phase inter-relationship explorer.
-pub struct InterRelationshipExplorer<'g> {
-    graph: &'g MultiplexGraph,
+///
+/// Generic over the [`GraphStore`] backend: the two RNG draws per step
+/// depend only on active-relation lists and degrees, which every conforming
+/// backend reports identically.
+pub struct InterRelationshipExplorer<'g, G: GraphStore = MultiplexGraph> {
+    graph: &'g G,
 }
 
-impl<'g> InterRelationshipExplorer<'g> {
+impl<'g, G: GraphStore> InterRelationshipExplorer<'g, G> {
     /// Creates an explorer over `graph`.
-    pub fn new(graph: &'g MultiplexGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         Self { graph }
     }
 
@@ -38,8 +42,8 @@ impl<'g> InterRelationshipExplorer<'g> {
         }
         let r = active[rng.gen_range(0..active.len())];
         // Phase 2 (Eq. 2): uniform over N_r(v).
-        let neighbors = self.graph.neighbors(v, r);
-        let u = neighbors[rng.gen_range(0..neighbors.len())];
+        let d = self.graph.degree(v, r);
+        let u = self.graph.neighbor_at(v, r, rng.gen_range(0..d));
         Some((r, u))
     }
 

@@ -18,6 +18,14 @@
 //! * [`sharded`] / [`sharded_over`] — fixed-shard parallel walk generation
 //!   with one derived sub-RNG per shard (bit-identical for any thread
 //!   count).
+//!
+//! Walkers, samplers and the explorer are generic over the
+//! [`mhg_graph::GraphStore`] backend (defaulting to the in-RAM
+//! [`mhg_graph::MultiplexGraph`]). Because every RNG draw is conditioned
+//! only on degrees and sorted neighbor lists — which the contract requires
+//! all backends to report identically — walk and sample streams are
+//! bit-identical between the in-RAM graph and the chunk-paged
+//! [`mhg_graph::ShardedCsr`], for any shard layout and any thread count.
 
 mod alias;
 mod errors;

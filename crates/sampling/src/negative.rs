@@ -6,12 +6,18 @@
 
 use rand::Rng;
 
-use mhg_graph::{MultiplexGraph, NodeId, NodeTypeId};
+use mhg_graph::{GraphStore, NodeId, NodeTypeId};
 
 use crate::alias::AliasTable;
 
 /// Degree exponent used by word2vec-style negative sampling.
 pub const UNIGRAM_POWER: f32 = 0.75;
+
+/// Nodes per parallel weight shard when building the unigram tables. Fixed
+/// (never derived from the thread count) so the shard decomposition — and
+/// therefore the resulting weight vector — is identical at any
+/// `MHG_THREADS`.
+const WEIGHT_SHARD: usize = 4096;
 
 /// Type-aware negative sampler.
 pub struct NegativeSampler {
@@ -20,8 +26,14 @@ pub struct NegativeSampler {
 }
 
 impl NegativeSampler {
-    /// Builds the per-type unigram^0.75 tables from a graph.
-    pub fn new(graph: &MultiplexGraph) -> Self {
+    /// Builds the per-type unigram^0.75 tables from any graph store.
+    ///
+    /// The degree-weight pass is shard-parallel via [`mhg_par`]: nodes are
+    /// cut into fixed-size shards, each worker computes its shard's weights
+    /// from CSR offsets (`total_degree` is pure offset arithmetic — no
+    /// neighbor pages are touched), and the shards are concatenated in index
+    /// order, bit-identical to the serial build.
+    pub fn new<G: GraphStore>(graph: &G) -> Self {
         let per_type = graph
             .schema()
             .node_types()
@@ -30,11 +42,20 @@ impl NegativeSampler {
                 if nodes.is_empty() {
                     return None;
                 }
-                let weights: Vec<f32> = nodes
-                    .iter()
-                    // +1 smooths isolated nodes so every node is sampleable.
-                    .map(|&v| ((graph.total_degree(v) + 1) as f32).powf(UNIGRAM_POWER))
-                    .collect();
+                let shards = nodes.len().div_ceil(WEIGHT_SHARD);
+                let weights: Vec<f32> = mhg_par::par_map_collect(shards, |s| {
+                    let lo = s * WEIGHT_SHARD;
+                    let hi = (lo + WEIGHT_SHARD).min(nodes.len());
+                    nodes[lo..hi]
+                        .iter()
+                        // +1 smooths isolated nodes so every node is
+                        // sampleable.
+                        .map(|&v| ((graph.total_degree(v) + 1) as f32).powf(UNIGRAM_POWER))
+                        .collect::<Vec<f32>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
                 Some((AliasTable::new(&weights), nodes))
             })
             .collect();
@@ -79,7 +100,7 @@ impl NegativeSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mhg_graph::{GraphBuilder, Schema};
+    use mhg_graph::{GraphBuilder, MultiplexGraph, Schema};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::collections::HashMap;

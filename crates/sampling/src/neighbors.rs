@@ -10,7 +10,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId};
+use mhg_graph::{GraphStore, MetapathScheme, MultiplexGraph, NodeId};
 
 /// Layered metapath-guided neighbors: `layers[0] = [v]`,
 /// `layers[k] ⊆ N^k_P(v)`.
@@ -18,19 +18,19 @@ pub type LayeredNeighbors = Vec<Vec<NodeId>>;
 
 /// Samples `N^k_P(v)` layer by layer with per-parent fan-out and a per-layer
 /// size cap.
-pub struct MetapathNeighborSampler<'g> {
-    graph: &'g MultiplexGraph,
+pub struct MetapathNeighborSampler<'g, G: GraphStore = MultiplexGraph> {
+    graph: &'g G,
     fan_out: usize,
     max_layer: usize,
 }
 
-impl<'g> MetapathNeighborSampler<'g> {
+impl<'g, G: GraphStore> MetapathNeighborSampler<'g, G> {
     /// Creates a sampler with the given per-parent fan-out and per-layer cap.
     ///
     /// # Panics
     ///
     /// Panics if `fan_out` or `max_layer` is zero.
-    pub fn new(graph: &'g MultiplexGraph, fan_out: usize, max_layer: usize) -> Self {
+    pub fn new(graph: &'g G, fan_out: usize, max_layer: usize) -> Self {
         assert!(fan_out > 0 && max_layer > 0, "caps must be positive");
         Self {
             graph,
@@ -64,13 +64,12 @@ impl<'g> MetapathNeighborSampler<'g> {
             let frontier = &layers[hop];
             let mut next = Vec::with_capacity(frontier.len().saturating_mul(self.fan_out));
             for &u in frontier {
-                let candidates: Vec<NodeId> = self
-                    .graph
-                    .neighbors(u, r)
-                    .iter()
-                    .copied()
-                    .filter(|&w| self.graph.node_type(w) == want)
-                    .collect();
+                let candidates: Vec<NodeId> = self.graph.with_neighbors(u, r, |ns| {
+                    ns.iter()
+                        .copied()
+                        .filter(|&w| self.graph.node_type(w) == want)
+                        .collect()
+                });
                 if candidates.is_empty() {
                     continue;
                 }
@@ -108,19 +107,19 @@ impl<'g> MetapathNeighborSampler<'g> {
 /// Uniform neighbor sampler over the flattened graph — used by the
 /// `w/o hybrid aggregation flow` ablation (paper Table VIII) and the
 /// GraphSage baseline.
-pub struct UniformNeighborSampler<'g> {
-    graph: &'g MultiplexGraph,
+pub struct UniformNeighborSampler<'g, G: GraphStore = MultiplexGraph> {
+    graph: &'g G,
     fan_out: usize,
     max_layer: usize,
 }
 
-impl<'g> UniformNeighborSampler<'g> {
+impl<'g, G: GraphStore> UniformNeighborSampler<'g, G> {
     /// Creates a sampler with the given caps.
     ///
     /// # Panics
     ///
     /// Panics if `fan_out` or `max_layer` is zero.
-    pub fn new(graph: &'g MultiplexGraph, fan_out: usize, max_layer: usize) -> Self {
+    pub fn new(graph: &'g G, fan_out: usize, max_layer: usize) -> Self {
         assert!(fan_out > 0 && max_layer > 0, "caps must be positive");
         Self {
             graph,
@@ -143,12 +142,10 @@ impl<'g> UniformNeighborSampler<'g> {
             let mut next = Vec::new();
             for &u in frontier {
                 // Merge neighbors across relations, then sample.
-                let mut all: Vec<NodeId> = self
-                    .graph
-                    .schema()
-                    .relations()
-                    .flat_map(|r| self.graph.neighbors(u, r).iter().copied())
-                    .collect();
+                let mut all: Vec<NodeId> = Vec::with_capacity(self.graph.total_degree(u));
+                for r in self.graph.schema().relations() {
+                    self.graph.push_neighbors(u, r, &mut all);
+                }
                 if all.is_empty() {
                     continue;
                 }

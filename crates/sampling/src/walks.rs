@@ -12,7 +12,7 @@
 
 use rand::Rng;
 
-use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, RelationId};
+use mhg_graph::{GraphStore, MetapathScheme, MultiplexGraph, NodeId, RelationId};
 
 use crate::errors::SampleError;
 
@@ -21,13 +21,17 @@ pub type Walk = Vec<NodeId>;
 
 /// DeepWalk-style uniform walker over the flattened multiplex graph:
 /// at each step a uniform neighbor across *all* relations is chosen.
-pub struct UniformWalker<'g> {
-    graph: &'g MultiplexGraph,
+///
+/// Generic over the [`GraphStore`] backend; the RNG draw sequence depends
+/// only on degrees and sorted neighbor lists, so walks are bit-identical
+/// between the in-RAM and sharded stores.
+pub struct UniformWalker<'g, G: GraphStore = MultiplexGraph> {
+    graph: &'g G,
 }
 
-impl<'g> UniformWalker<'g> {
+impl<'g, G: GraphStore> UniformWalker<'g, G> {
     /// Creates a walker over `graph`.
-    pub fn new(graph: &'g MultiplexGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         Self { graph }
     }
 
@@ -50,8 +54,8 @@ impl<'g> UniformWalker<'g> {
 
 /// Samples a uniform neighbor of `v` across all relations (degree-weighted
 /// over relations, i.e. uniform over the multiset of incident edges).
-fn uniform_any_neighbor<R: Rng + ?Sized>(
-    graph: &MultiplexGraph,
+fn uniform_any_neighbor<G: GraphStore, R: Rng + ?Sized>(
+    graph: &G,
     v: NodeId,
     rng: &mut R,
 ) -> Option<NodeId> {
@@ -63,7 +67,7 @@ fn uniform_any_neighbor<R: Rng + ?Sized>(
     for r in graph.schema().relations() {
         let d = graph.degree(v, r);
         if pick < d {
-            return Some(graph.neighbors(v, r)[pick]);
+            return Some(graph.neighbor_at(v, r, pick));
         }
         pick -= d;
     }
@@ -72,19 +76,19 @@ fn uniform_any_neighbor<R: Rng + ?Sized>(
 
 /// node2vec second-order walker with return parameter `p` and in-out
 /// parameter `q`, operating on the flattened graph.
-pub struct Node2VecWalker<'g> {
-    graph: &'g MultiplexGraph,
+pub struct Node2VecWalker<'g, G: GraphStore = MultiplexGraph> {
+    graph: &'g G,
     p: f32,
     q: f32,
 }
 
-impl<'g> Node2VecWalker<'g> {
+impl<'g, G: GraphStore> Node2VecWalker<'g, G> {
     /// Creates a walker with the given bias parameters.
     ///
     /// # Panics
     ///
     /// Panics unless `p > 0` and `q > 0`.
-    pub fn new(graph: &'g MultiplexGraph, p: f32, q: f32) -> Self {
+    pub fn new(graph: &'g G, p: f32, q: f32) -> Self {
         assert!(p > 0.0 && q > 0.0, "p and q must be positive");
         Self { graph, p, q }
     }
@@ -143,18 +147,18 @@ impl<'g> Node2VecWalker<'g> {
 /// The paper's metapath-based training walker (§III-E): walks stay under one
 /// relation `r` while node types follow a scheme cyclically. The transition
 /// `T(v_{t+1}|v_t)` is uniform over `N_r(v_t) ∩ κ(next type)`.
-pub struct MetapathWalker<'g> {
-    graph: &'g MultiplexGraph,
+pub struct MetapathWalker<'g, G: GraphStore = MultiplexGraph> {
+    graph: &'g G,
     scheme: MetapathScheme,
     relation: RelationId,
 }
 
-impl<'g> MetapathWalker<'g> {
+impl<'g, G: GraphStore> MetapathWalker<'g, G> {
     /// Creates a walker for an intra-relationship scheme; a scheme that is
     /// not intra-relationship or does not fit the graph's schema is a typed
     /// [`SampleError`], surfaced through the training pipeline instead of
     /// aborting the process.
-    pub fn new(graph: &'g MultiplexGraph, scheme: MetapathScheme) -> Result<Self, SampleError> {
+    pub fn new(graph: &'g G, scheme: MetapathScheme) -> Result<Self, SampleError> {
         if !scheme.is_intra_relationship() {
             return Err(SampleError::InvalidScheme(
                 "training walks use intra-relationship schemes".to_string(),
@@ -193,13 +197,12 @@ impl<'g> MetapathWalker<'g> {
         while walk.len() < length {
             let next_pos = if pos + 1 < types.len() { pos + 1 } else { 1 };
             let want = types[next_pos];
-            let candidates: Vec<NodeId> = self
-                .graph
-                .neighbors(current, self.relation)
-                .iter()
-                .copied()
-                .filter(|&u| self.graph.node_type(u) == want)
-                .collect();
+            let candidates: Vec<NodeId> = self.graph.with_neighbors(current, self.relation, |ns| {
+                ns.iter()
+                    .copied()
+                    .filter(|&u| self.graph.node_type(u) == want)
+                    .collect()
+            });
             if candidates.is_empty() {
                 break;
             }

@@ -1,0 +1,142 @@
+//! Golden-hash parity: walk streams must be byte-identical between the
+//! in-RAM `MultiplexGraph` and the chunk-paged `ShardedCsr`, at any thread
+//! count.
+//!
+//! This is the determinism contract of the `GraphStore` refactor: a
+//! conforming backend presents the same degrees and sorted neighbor lists,
+//! so every RNG draw — and therefore every walk — is bit-identical. The
+//! hashes are pinned as constants so a regression in either backend (or in
+//! the shard builder's sort/dedup semantics) fails loudly instead of
+//! silently shifting all downstream training results.
+
+use mhg_graph::{
+    GraphBuilder, GraphStore, MetapathScheme, MultiplexGraph, NodeId, RelationId, Schema,
+    ShardedCsr, ShardedCsrOptions,
+};
+use mhg_par::with_threads;
+use mhg_sampling::{sharded_over, MetapathWalker, UniformWalker, Walk};
+
+/// FNV-1a over the concatenated walk stream (walks delimited by a marker
+/// that cannot collide with a node id in this graph).
+fn hash_walks(walks: &[Walk]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: u32| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for w in walks {
+        for &v in w {
+            eat(v.0);
+        }
+        eat(u32::MAX);
+    }
+    h
+}
+
+/// A fixed bipartite multiplex graph: 40 users, 20 items, two relations
+/// populated by arithmetic rules — no RNG, so the golden hashes below are
+/// functions of the sampler code alone.
+fn fixture() -> MultiplexGraph {
+    let mut schema = Schema::new();
+    let user = schema.add_node_type("user");
+    let item = schema.add_node_type("item");
+    schema.add_relation("r0");
+    schema.add_relation("r1");
+    let mut b = GraphBuilder::new(schema);
+    b.add_nodes(user, 40);
+    b.add_nodes(item, 20);
+    for u in 0..40u32 {
+        for i in 0..20u32 {
+            if (u * 7 + i * 3) % 5 == 0 {
+                b.add_edge(NodeId(u), NodeId(40 + i), RelationId(0));
+            }
+            if (u * 11 + i) % 7 == 1 {
+                b.add_edge(NodeId(u), NodeId(40 + i), RelationId(1));
+            }
+        }
+    }
+    b.build()
+}
+
+fn sharded_fixture(g: &MultiplexGraph, name: &str) -> ShardedCsr {
+    let dir = std::env::temp_dir().join("mhg_store_parity").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    // Tiny caps force many shards and constant paging, the regime where a
+    // backend divergence would actually show.
+    let opts = ShardedCsrOptions {
+        shard_target_cap: 16,
+        page_budget_bytes: 256,
+        build_budget_bytes: 1024,
+    };
+    ShardedCsr::build(g, &dir, opts).expect("shard build")
+}
+
+/// 300 starts cycling over the users: > 4 shards of 64, so the sharded walk
+/// decomposition is exercised, not just a single serial stream.
+fn starts() -> Vec<NodeId> {
+    (0..300).map(|i| NodeId(i % 40)).collect()
+}
+
+fn uniform_stream<G: GraphStore>(g: &G) -> Vec<Walk> {
+    let w = UniformWalker::new(g);
+    sharded_over(42, &starts(), |chunk, rng| {
+        chunk.iter().map(|&s| w.walk(s, 12, rng)).collect()
+    })
+}
+
+fn metapath_stream<G: GraphStore>(g: &G, scheme: &MetapathScheme) -> Vec<Walk> {
+    let w = MetapathWalker::new(g, scheme.clone()).expect("valid scheme");
+    sharded_over(43, &starts(), |chunk, rng| {
+        chunk.iter().map(|&s| w.walk(s, 9, rng)).collect()
+    })
+}
+
+const GOLDEN_UNIFORM: u64 = 0x6fd2_e148_2616_e23d;
+const GOLDEN_METAPATH: u64 = 0xc273_c9be_87bb_9800;
+
+#[test]
+fn uniform_walks_identical_across_backends_and_threads() {
+    let ram = fixture();
+    let sharded = sharded_fixture(&ram, "uniform");
+    for threads in [1usize, 4] {
+        let h_ram = with_threads(threads, || hash_walks(&uniform_stream(&ram)));
+        let h_sharded = with_threads(threads, || hash_walks(&uniform_stream(&sharded)));
+        assert_eq!(
+            h_ram, h_sharded,
+            "uniform walk streams diverged at {threads} threads"
+        );
+        assert_eq!(
+            h_ram, GOLDEN_UNIFORM,
+            "uniform walk stream drifted from golden at {threads} threads: {h_ram:#018x}"
+        );
+    }
+}
+
+#[test]
+fn metapath_walks_identical_across_backends_and_threads() {
+    let ram = fixture();
+    let sharded = sharded_fixture(&ram, "metapath");
+    let schema = ram.schema();
+    let scheme = MetapathScheme::intra(
+        vec![
+            schema.node_type_id("user").expect("user type"),
+            schema.node_type_id("item").expect("item type"),
+            schema.node_type_id("user").expect("user type"),
+        ],
+        schema.relation_id("r0").expect("r0"),
+    );
+    for threads in [1usize, 4] {
+        let h_ram = with_threads(threads, || hash_walks(&metapath_stream(&ram, &scheme)));
+        let h_sharded = with_threads(threads, || hash_walks(&metapath_stream(&sharded, &scheme)));
+        assert_eq!(
+            h_ram, h_sharded,
+            "metapath walk streams diverged at {threads} threads"
+        );
+        assert_eq!(
+            h_ram, GOLDEN_METAPATH,
+            "metapath walk stream drifted from golden at {threads} threads: {h_ram:#018x}"
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //! whole sampling stage can run ahead of the compute stage on the prefetch
 //! worker.
 
-use mhg_graph::{MultiplexGraph, NodeId, RelationId};
+use mhg_graph::{GraphStore, NodeId, RelationId};
 use mhg_sampling::{NegativeSampler, Pair};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -26,8 +26,8 @@ pub struct PairExample {
 
 /// Attaches `k` type-aware negatives to each tagged walk pair and chunks the
 /// result into batches of `batch` examples (last batch may be short).
-pub fn pair_batches(
-    graph: &MultiplexGraph,
+pub fn pair_batches<G: GraphStore>(
+    graph: &G,
     negatives: &NegativeSampler,
     tagged: Vec<(Pair, RelationId)>,
     k: usize,
@@ -84,8 +84,8 @@ impl EdgeBatch {
 /// Shuffles `edges`, chunks them into batches of `batch` positives, and
 /// expands each positive `(u, v, r)` into a `+1` row plus `k` type-aware
 /// negative `-1` rows sharing the anchor `u` and relation `r`.
-pub fn edge_batches(
-    graph: &MultiplexGraph,
+pub fn edge_batches<G: GraphStore>(
+    graph: &G,
     negatives: &NegativeSampler,
     edges: &[(NodeId, NodeId, RelationId)],
     k: usize,
@@ -124,7 +124,7 @@ pub fn edge_batches(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mhg_graph::{GraphBuilder, Schema};
+    use mhg_graph::{GraphBuilder, MultiplexGraph, Schema};
     use rand::SeedableRng;
 
     fn toy_graph() -> MultiplexGraph {
