@@ -49,6 +49,10 @@ struct StoreRun {
     page_hits: Option<u64>,
     page_evictions: Option<u64>,
     page_peak_bytes: Option<usize>,
+    shard_retries: Option<u64>,
+    shard_repairs: Option<u64>,
+    shard_repair_failures: Option<u64>,
+    shards_quarantined: Option<usize>,
     streams_under_disk: Option<bool>,
     vm_hwm_kb: Option<u64>,
 }
@@ -198,6 +202,8 @@ fn main() {
         let (walk_s, steps, walk_hash) =
             walk_pass(&sharded, walk_seed, num_walks, walk_len, threads);
         let stats = sharded.page_stats();
+        let heal = sharded.heal_stats();
+        let quarantined = sharded.quarantined().len();
         let on_disk = sharded.on_disk_bytes().expect("on-disk size");
         let metadata = sharded.resident_metadata_bytes();
         let working = page_budget + metadata;
@@ -230,6 +236,10 @@ fn main() {
             page_hits: Some(stats.hits),
             page_evictions: Some(stats.evictions),
             page_peak_bytes: Some(stats.peak_bytes),
+            shard_retries: Some(heal.retries),
+            shard_repairs: Some(heal.repairs),
+            shard_repair_failures: Some(heal.repair_failures),
+            shards_quarantined: Some(quarantined),
             streams_under_disk: Some((working as u64) < on_disk),
             vm_hwm_kb: vm_hwm_kb(),
         });
@@ -262,6 +272,10 @@ fn main() {
             page_hits: None,
             page_evictions: None,
             page_peak_bytes: None,
+            shard_retries: None,
+            shard_repairs: None,
+            shard_repair_failures: None,
+            shards_quarantined: None,
             streams_under_disk: None,
             vm_hwm_kb: vm_hwm_kb(),
         });
@@ -269,11 +283,17 @@ fn main() {
 
     let parity = if runs.len() == 2 {
         let ok = runs[0].walk_hash == runs[1].walk_hash;
-        assert!(
-            ok,
-            "walk streams diverged between backends: {:#018x} vs {:#018x}",
-            runs[0].walk_hash, runs[1].walk_hash
-        );
+        if !ok {
+            // Mirror verification failed: the two backends no longer present
+            // the same graph. Exit nonzero so CI flags it, rather than
+            // silently recording a broken baseline.
+            eprintln!(
+                "bench_graph: FAIL: walk streams diverged between backends: \
+                 {:#018x} vs {:#018x}",
+                runs[0].walk_hash, runs[1].walk_hash
+            );
+            std::process::exit(1);
+        }
         eprintln!("  parity: walk streams identical across backends");
         Some(ok)
     } else {
@@ -335,6 +355,26 @@ fn main() {
             json,
             "      \"page_peak_bytes\": {},",
             opt_usize(r.page_peak_bytes)
+        );
+        let _ = writeln!(
+            json,
+            "      \"shard_retries\": {},",
+            opt_u64(r.shard_retries)
+        );
+        let _ = writeln!(
+            json,
+            "      \"shard_repairs\": {},",
+            opt_u64(r.shard_repairs)
+        );
+        let _ = writeln!(
+            json,
+            "      \"shard_repair_failures\": {},",
+            opt_u64(r.shard_repair_failures)
+        );
+        let _ = writeln!(
+            json,
+            "      \"shards_quarantined\": {},",
+            opt_usize(r.shards_quarantined)
         );
         let _ = writeln!(
             json,

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 
 /// Number of distinct injection sites (length of the per-site tables).
-const NUM_SITES: usize = 4;
+const NUM_SITES: usize = 6;
 
 /// Where a fault can be injected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +42,12 @@ pub enum FaultSite {
     IoRead,
     /// Replace an epoch's training loss with NaN.
     NanLoss,
+    /// IO error reading one shard file of the sharded graph store at
+    /// page-load time (counted per shard read, independent of `IoRead`).
+    ShardRead,
+    /// Corruption detected while decoding a shard page that was read
+    /// successfully (surfaces as a checksum mismatch to the heal path).
+    ShardDecode,
 }
 
 impl FaultSite {
@@ -51,6 +57,8 @@ impl FaultSite {
         FaultSite::IoWrite,
         FaultSite::IoRead,
         FaultSite::NanLoss,
+        FaultSite::ShardRead,
+        FaultSite::ShardDecode,
     ];
 
     fn index(self) -> usize {
@@ -59,6 +67,8 @@ impl FaultSite {
             FaultSite::IoWrite => 1,
             FaultSite::IoRead => 2,
             FaultSite::NanLoss => 3,
+            FaultSite::ShardRead => 4,
+            FaultSite::ShardDecode => 5,
         }
     }
 
@@ -69,6 +79,8 @@ impl FaultSite {
             FaultSite::IoWrite => "io_write",
             FaultSite::IoRead => "io_read",
             FaultSite::NanLoss => "nan_loss",
+            FaultSite::ShardRead => "shard_read",
+            FaultSite::ShardDecode => "shard_decode",
         }
     }
 
@@ -168,6 +180,25 @@ impl FaultPlan {
     /// The scheduled occurrence indices for `site` (sorted, 1-based).
     pub fn occurrences(&self, site: FaultSite) -> &[u64] {
         &self.schedule[site.index()]
+    }
+
+    /// Renders the plan back into `MHG_FAULTS` spec syntax. The output is
+    /// canonical (site-table order, occurrences ascending) and round-trips
+    /// through [`FaultPlan::parse`]: `parse(&plan.to_spec()) == plan` for
+    /// every plan, pinned by the property tests in `crates/faults`.
+    pub fn to_spec(&self) -> String {
+        let mut out = String::new();
+        for site in FaultSite::ALL {
+            for &occ in self.occurrences(site) {
+                if !out.is_empty() {
+                    out.push(',');
+                }
+                out.push_str(site.token());
+                out.push(':');
+                out.push_str(&occ.to_string());
+            }
+        }
+        out
     }
 }
 
@@ -355,6 +386,22 @@ mod tests {
         assert_eq!(fired(), vec![(FaultSite::NanLoss, 2)]);
         clear();
         assert!(!should_inject(FaultSite::NanLoss));
+    }
+
+    #[test]
+    fn to_spec_is_canonical_and_roundtrips() {
+        let plan = FaultPlan::new()
+            .inject(FaultSite::ShardDecode, 3)
+            .inject(FaultSite::SamplerPanic, 2)
+            .inject(FaultSite::ShardRead, 1)
+            .inject(FaultSite::ShardRead, 4);
+        let spec = plan.to_spec();
+        assert_eq!(
+            spec,
+            "sampler_panic:2,shard_read:1,shard_read:4,shard_decode:3"
+        );
+        assert_eq!(FaultPlan::parse(&spec).unwrap(), plan);
+        assert_eq!(FaultPlan::new().to_spec(), "");
     }
 
     #[test]

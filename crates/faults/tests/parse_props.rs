@@ -1,0 +1,69 @@
+//! Property tests for `MHG_FAULTS` spec parsing: arbitrary input never
+//! panics (the env variable is attacker-ish surface — a typo must degrade
+//! to a typed error, not abort the run), and every valid plan round-trips
+//! bytes-exactly through `to_spec` → `parse`.
+
+use proptest::prelude::*;
+
+use mhg_faults::{FaultPlan, FaultSite};
+
+/// A strategy over valid plans: up to 8 `(site, occurrence)` injections.
+fn plan() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec((0usize..FaultSite::ALL.len(), 1u64..10_000), 0..8).prop_map(
+        |entries| {
+            let mut plan = FaultPlan::new();
+            for (site, occ) in entries {
+                plan = plan.inject(FaultSite::ALL[site], occ);
+            }
+            plan
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        // Lossy conversion keeps every byte pattern reachable as input.
+        let spec = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = FaultPlan::parse(&spec);
+    }
+
+    #[test]
+    fn parse_never_panics_on_token_shaped_garbage(
+        pieces in proptest::collection::vec((0usize..FaultSite::ALL.len(), any::<u64>(), 0usize..4), 0..8)
+    ) {
+        // Near-miss specs: real tokens with mangled separators/occurrences.
+        let seps = [":", "", "::", "="];
+        let mut spec = String::new();
+        for (site, occ, sep) in pieces {
+            if !spec.is_empty() {
+                spec.push(',');
+            }
+            spec.push_str(FaultSite::ALL[site].token());
+            spec.push_str(seps[sep]);
+            spec.push_str(&occ.to_string());
+        }
+        let _ = FaultPlan::parse(&spec);
+    }
+
+    #[test]
+    fn valid_plans_roundtrip_through_spec_syntax(p in plan()) {
+        let spec = p.to_spec();
+        let back = FaultPlan::parse(&spec);
+        prop_assert_eq!(back.ok(), Some(p.clone()));
+        // Canonical form is a fixed point: re-rendering changes nothing.
+        prop_assert_eq!(FaultPlan::parse(&spec).unwrap().to_spec(), spec);
+    }
+
+    #[test]
+    fn parse_ignores_whitespace_padding(p in plan(), pad in 0usize..3) {
+        let padding = ["", " ", "\t"][pad];
+        let spec: String = p
+            .to_spec()
+            .split(',')
+            .map(|entry| format!("{padding}{entry}{padding}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        prop_assert_eq!(FaultPlan::parse(&spec).ok(), Some(p));
+    }
+}

@@ -11,7 +11,10 @@
 //! [`ShardedCsr`] (per-relation CSR shards on disk, paged through a
 //! byte-budgeted cache, for graphs larger than RAM). Every sampler in
 //! `mhg-sampling` is written against the trait and produces bit-identical
-//! walk streams over either backend.
+//! walk streams over either backend. The sharded backend self-heals:
+//! failed page reads are retried with clock-driven backoff, corrupt shards
+//! are rebuilt in place from the original [`EdgeSource`], and
+//! unrecoverable shards are quarantined (see [`heal`]).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 
 mod csr;
 mod graph;
+pub mod heal;
 mod ids;
 mod metapath;
 pub mod persist;
@@ -49,10 +53,13 @@ mod store;
 
 pub use csr::Csr;
 pub use graph::{GraphBuilder, MultiplexGraph};
+pub use heal::{FsckFinding, FsckReport, HealPolicy, HealStats, RepairReport};
 pub use ids::{NodeId, NodeTypeId, RelationId};
 pub use metapath::MetapathScheme;
 pub use schema::Schema;
 pub use shard_codec::ShardError;
-pub use sharded::{EdgeSource, PageStats, ShardedCsr, ShardedCsrOptions, MANIFEST_FILE};
+pub use sharded::{
+    EdgeSource, PageStats, ShardedCsr, ShardedCsrOptions, MANIFEST_FILE, STORE_FAILURE_PREFIX,
+};
 pub use stats::GraphStats;
 pub use store::GraphStore;

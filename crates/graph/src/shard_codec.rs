@@ -62,6 +62,15 @@ pub enum ShardError {
     BadUtf8,
     /// Structurally valid bytes that contradict themselves or the manifest.
     Inconsistent(&'static str),
+    /// The shard exhausted its read retries and could not be rebuilt from
+    /// the heal source; it is quarantined until [`crate::ShardedCsr::repair`]
+    /// succeeds.
+    Quarantined {
+        /// Relation index of the quarantined shard.
+        relation: u16,
+        /// Shard index within the relation.
+        shard: u32,
+    },
 }
 
 impl std::fmt::Display for ShardError {
@@ -74,6 +83,10 @@ impl std::fmt::Display for ShardError {
             ShardError::ChecksumMismatch => write!(f, "shard checksum mismatch"),
             ShardError::BadUtf8 => write!(f, "invalid UTF-8 in shard manifest string"),
             ShardError::Inconsistent(what) => write!(f, "inconsistent shard data: {what}"),
+            ShardError::Quarantined { relation, shard } => write!(
+                f,
+                "shard r{relation}-s{shard} quarantined: retries exhausted and repair failed"
+            ),
         }
     }
 }

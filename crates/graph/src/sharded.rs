@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use crate::heal::HealState;
 use crate::shard_codec::{self, Manifest, ShardError, ShardMeta};
 use crate::store::GraphStore;
 use crate::{MultiplexGraph, NodeId, NodeTypeId, RelationId, Schema};
@@ -195,19 +196,20 @@ fn lock_pager(m: &Mutex<PagerState>) -> std::sync::MutexGuard<'_, PagerState> {
 /// (offsets) + shard tables. Target arrays are paged through a byte-budgeted
 /// cache, so graphs larger than RAM stream through walk generation.
 pub struct ShardedCsr {
-    dir: PathBuf,
+    pub(crate) dir: PathBuf,
     schema: Schema,
-    node_types: Vec<NodeTypeId>,
+    pub(crate) node_types: Vec<NodeTypeId>,
     nodes_by_type: Vec<Vec<NodeId>>,
-    shards: Vec<Vec<ShardMeta>>,
-    offsets: Vec<Vec<u32>>,
+    pub(crate) shards: Vec<Vec<ShardMeta>>,
+    pub(crate) offsets: Vec<Vec<u32>>,
     pager: Pager,
+    pub(crate) heal: HealState,
 }
 
 /// File name of the manifest inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.mhgs";
 
-fn shard_file(dir: &Path, relation: u16, shard: u32) -> PathBuf {
+pub(crate) fn shard_file(dir: &Path, relation: u16, shard: u32) -> PathBuf {
     dir.join(format!("r{relation}-s{shard}.shard"))
 }
 
@@ -421,6 +423,7 @@ impl ShardedCsr {
             shards: m.shards,
             offsets: m.offsets,
             pager: Pager::new(opts.page_budget_bytes),
+            heal: HealState::new(),
         })
     }
 
@@ -507,21 +510,28 @@ impl ShardedCsr {
         shard: u32,
         meta: &ShardMeta,
     ) -> Result<Arc<Vec<NodeId>>, ShardError> {
-        let num_nodes = self.node_types.len();
-        let path = shard_file(&self.dir, relation, shard);
+        // A page-in on a cache miss runs the full self-healing ladder:
+        // bounded retries with backoff, rebuild-from-source repair, and
+        // quarantine on exhaustion (see `heal.rs`).
         self.pager.get((relation, shard), || {
-            let bytes = mhg_ckpt::read_file(&path)?;
-            shard_codec::decode_shard(&bytes, relation, shard, meta, num_nodes)
+            self.load_shard_healing(relation, shard, meta)
         })
     }
 }
+
+/// Panic-message prefix of a paged store failure escaping the infallible
+/// [`GraphStore`] API. The training pipeline's sampler-panic containment
+/// matches on this prefix to classify the panic as a storage failure
+/// (deterministic — not worth an inline replay) rather than a generic
+/// worker crash.
+pub const STORE_FAILURE_PREFIX: &str = "sharded graph store failure";
 
 /// A paged store failure inside the infallible [`GraphStore`] API. The
 /// training pipeline's contained-sampler-panic recovery absorbs this;
 /// callers wanting typed errors use [`ShardedCsr::try_with_neighbors`] or
 /// [`ShardedCsr::verify`] instead.
 fn store_failure(e: ShardError) -> ! {
-    panic!("sharded graph store failure: {e}")
+    panic!("{STORE_FAILURE_PREFIX}: {e}")
 }
 
 impl GraphStore for ShardedCsr {

@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, HashMap};
 use mhg_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, Var};
 use mhg_ckpt::{CkptError, StateDict};
 use mhg_datasets::LabeledEdge;
-use mhg_graph::{MetapathScheme, MultiplexGraph, NodeId, NodeTypeId, RelationId};
+use mhg_graph::{GraphStore, MetapathScheme, NodeId, NodeTypeId, RelationId};
 use mhg_models::{EmbeddingScores, FitData, LinkPredictor, TrainError, TrainReport};
 use mhg_sampling::{
     derive_seed, pairs_from_walk, sharded_over_obs, InterRelationshipExplorer,
@@ -57,8 +57,8 @@ struct Params {
 }
 
 /// Static per-fit context shared by forward passes.
-struct ForwardCtx<'a> {
-    graph: &'a MultiplexGraph,
+struct ForwardCtx<'a, G: GraphStore> {
+    graph: &'a G,
     config: &'a HybridConfig,
     /// Table II shapes with human-readable labels.
     shapes: &'a [(Vec<NodeTypeId>, String)],
@@ -91,8 +91,8 @@ impl HybridGnn {
         self.scores.embedding(v, r)
     }
 
-    fn init_params(
-        graph: &MultiplexGraph,
+    fn init_params<G: GraphStore>(
+        graph: &G,
         config: &HybridConfig,
         num_shapes: usize,
         rng: &mut StdRng,
@@ -178,10 +178,10 @@ impl HybridGnn {
     /// (each a `1 × d_m` variable), plus per-relation `(label, mass)`
     /// attention observations when metapath attention is active.
     #[allow(clippy::type_complexity)]
-    fn forward_node(
+    fn forward_node<G: GraphStore>(
         g: &mut Graph<'_>,
         p: &Params,
-        ctx: &ForwardCtx<'_>,
+        ctx: &ForwardCtx<'_, G>,
         v: NodeId,
         rng: &mut StdRng,
         collect_attention: bool,
@@ -305,10 +305,10 @@ impl HybridGnn {
 
     /// Full-graph inference: per-relation embedding tables, plus the
     /// averaged attention profile.
-    fn full_inference(
+    fn full_inference<G: GraphStore>(
         params: &ParamStore,
         p: &Params,
-        ctx: &ForwardCtx<'_>,
+        ctx: &ForwardCtx<'_, G>,
         rng: &mut StdRng,
     ) -> (Vec<Tensor>, AttentionProfile) {
         let graph = ctx.graph;
@@ -318,7 +318,7 @@ impl HybridGnn {
         // label → (mass sum, count), per relation.
         let mut acc: Vec<BTreeMap<String, (f64, usize)>> = vec![BTreeMap::new(); num_rel];
 
-        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let nodes: Vec<NodeId> = graph.node_id_range().map(NodeId).collect();
         for chunk in nodes.chunks(BATCH) {
             let mut g = Graph::new(params);
             for &v in chunk {
@@ -354,10 +354,10 @@ impl HybridGnn {
 
 /// The `TrainStep` for HybridGNN: hybrid-flow forward per pair batch with a
 /// per-center tape cache, (scores, attention) snapshot on improvement.
-struct HybridStep<'a> {
+struct HybridStep<'a, G: GraphStore> {
     params: ParamStore,
     p: Params,
-    graph: &'a MultiplexGraph,
+    graph: &'a G,
     config: HybridConfig,
     shapes: Vec<(Vec<NodeTypeId>, String)>,
     opt: Adam,
@@ -367,7 +367,7 @@ struct HybridStep<'a> {
     staged: Option<(EmbeddingScores, AttentionProfile)>,
 }
 
-impl TrainStep for HybridStep<'_> {
+impl<G: GraphStore> TrainStep for HybridStep<'_, G> {
     type Batch = Vec<PairExample>;
 
     fn step(&mut self, batch: Vec<PairExample>, rng: &mut StdRng) -> BatchLoss {
@@ -504,12 +504,17 @@ fn decode_attention(buf: &[u8]) -> Result<AttentionProfile, CkptError> {
     Ok(profile)
 }
 
-impl LinkPredictor for HybridGnn {
-    fn name(&self) -> &'static str {
-        "HybridGNN"
-    }
-
-    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
+impl HybridGnn {
+    /// Trains over any [`GraphStore`] backend — the in-RAM graph (what
+    /// [`LinkPredictor::fit`] delegates to) or the paged `ShardedCsr`,
+    /// whose self-healing ladder runs underneath the samplers while this
+    /// loop trains. Results are bit-identical across conforming backends
+    /// (the store determinism contract pins the walk streams).
+    pub fn fit_store<G: GraphStore>(
+        &mut self,
+        data: &FitData<'_, G>,
+        rng: &mut StdRng,
+    ) -> Result<TrainReport, TrainError> {
         let graph = data.graph;
         let cfg = self.config.clone();
         let common = &cfg.common;
@@ -597,6 +602,16 @@ impl LinkPredictor for HybridGnn {
             staged: None,
         };
         mhg_train::train(&common.train_options(), sample, &mut step, rng)
+    }
+}
+
+impl LinkPredictor for HybridGnn {
+    fn name(&self) -> &'static str {
+        "HybridGNN"
+    }
+
+    fn fit(&mut self, data: &FitData<'_>, rng: &mut StdRng) -> Result<TrainReport, TrainError> {
+        self.fit_store(data, rng)
     }
 
     fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {

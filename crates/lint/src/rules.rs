@@ -171,7 +171,8 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
         unchecked_arith: krate == "ckpt"
             || rel_path == "crates/graph/src/persist.rs"
             || rel_path == "crates/graph/src/shard_codec.rs"
-            || rel_path == "crates/graph/src/sharded.rs",
+            || rel_path == "crates/graph/src/sharded.rs"
+            || rel_path == "crates/graph/src/heal.rs",
         layering: true,
     })
 }
@@ -741,7 +742,7 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("tensor", &["par"]),
     ("ckpt", &["tensor", "faults"]),
     ("autograd", &["tensor", "par", "ckpt"]),
-    ("graph", &["ckpt", "faults"]),
+    ("graph", &["ckpt", "faults", "obs"]),
     ("obs", &["ckpt", "par", "faults"]),
     ("sampling", &["graph", "par", "faults", "obs"]),
     ("datasets", &["graph", "sampling"]),

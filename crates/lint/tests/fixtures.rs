@@ -348,6 +348,26 @@ fn shard_len_fixture_fires_on_shard_codec_paths() {
 }
 
 #[test]
+fn heal_fixture_fires_on_repair_codec_path() {
+    let src = include_str!("fixtures/bad_heal_len.rs");
+    // The rebuild-from-source repair path follows the same unchecked-arith
+    // discipline as the codec it rewrites shards with.
+    let fired = rules_fired("crates/graph/src/heal.rs", src);
+    assert_eq!(
+        count(&fired, Rule::UncheckedArith),
+        2,
+        "diagnostics: {fired:?}"
+    );
+    // The repair discipline does not leak into non-persistence graph code.
+    let in_csr = rules_fired("crates/graph/src/csr.rs", src);
+    assert_eq!(
+        count(&in_csr, Rule::UncheckedArith),
+        0,
+        "diagnostics: {in_csr:?}"
+    );
+}
+
+#[test]
 fn layering_fixture_fires_on_inverted_dependencies() {
     let src = include_str!("fixtures/bad_layering.rs");
     // tensor must not reach up into train or bench; par is fine.

@@ -1,0 +1,23 @@
+//! Fixture: unchecked size arithmetic in the self-healing repair path.
+//! Never compiled.
+
+pub fn rebuild_shard(targets: &[u32]) -> Vec<u8> {
+    // BAD: silent narrowing of the rebuilt target count.
+    let count = targets.len() as u32;
+    // BAD: unchecked payload-size multiplication before the rewrite.
+    let payload = 4 * targets.len();
+    let mut out = Vec::new();
+    out.extend_from_slice(&count.to_le_bytes());
+    out.reserve(payload);
+    out
+}
+
+pub fn checked_rebuild(targets: &[u32]) -> Vec<u8> {
+    // OK: capacity computation is overflow-aware by construction.
+    let mut out = Vec::with_capacity(4 + 4 * targets.len());
+    // OK: explicit checked multiplication for the re-verify guard.
+    let payload = targets.len().checked_mul(4);
+    let _ = payload;
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out
+}

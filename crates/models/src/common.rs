@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 use mhg_ckpt::{CkptError, StateDict};
 use mhg_datasets::LabeledEdge;
-use mhg_graph::{MultiplexGraph, NodeId, NodeTypeId, RelationId};
+use mhg_graph::{GraphStore, MultiplexGraph, NodeId, NodeTypeId, RelationId};
 use mhg_tensor::Tensor;
 use mhg_train::TrainOptions;
 use rand::rngs::StdRng;
@@ -18,9 +18,14 @@ pub use mhg_train::{
 /// Everything a model sees during training: the **training** graph (held-out
 /// edges removed), the dataset's metapath shapes (Table II), and the
 /// validation edges used for early stopping.
-pub struct FitData<'a> {
+///
+/// Generic over the [`GraphStore`] backend (defaulting to the in-RAM
+/// [`MultiplexGraph`], which keeps every existing `FitData<'_>` signature
+/// unchanged) so models that support it can train directly over the paged
+/// `ShardedCsr` — the chaos-soak path.
+pub struct FitData<'a, G: GraphStore = MultiplexGraph> {
     /// Training graph (same node set/schema as the full graph).
-    pub graph: &'a MultiplexGraph,
+    pub graph: &'a G,
     /// Metapath type shapes for metapath-based models.
     pub metapath_shapes: &'a [Vec<NodeTypeId>],
     /// Labelled validation edges.

@@ -11,6 +11,13 @@ pub enum SampleError {
     WorkerPanicked(String),
     /// A metapath scheme does not fit the graph it was applied to.
     InvalidScheme(String),
+    /// The sharded graph store failed underneath the sampler — a shard
+    /// exhausted its retries and could not be repaired. Unlike
+    /// [`SampleError::WorkerPanicked`], this is deterministic (the store's
+    /// quarantine is sticky), so the pipeline does *not* fall back to
+    /// inline re-sampling; it surfaces the failure as
+    /// `TrainError::StorageExhausted`.
+    Storage(String),
 }
 
 impl std::fmt::Display for SampleError {
@@ -20,6 +27,7 @@ impl std::fmt::Display for SampleError {
                 write!(f, "background sampling worker panicked: {msg}")
             }
             SampleError::InvalidScheme(msg) => write!(f, "invalid metapath scheme: {msg}"),
+            SampleError::Storage(msg) => write!(f, "graph storage failed: {msg}"),
         }
     }
 }

@@ -43,7 +43,7 @@ pub use explore::InterRelationshipExplorer;
 pub use negative::{NegativeSampler, UNIGRAM_POWER};
 pub use neighbors::{LayeredNeighbors, MetapathNeighborSampler, UniformNeighborSampler};
 pub use pairs::{pairs_from_walk, pairs_from_walks, Pair};
-pub use prefetch::run_prefetched;
+pub use prefetch::{classify_panic, run_prefetched};
 pub use shard::{
     derive_seed, sharded, sharded_over, sharded_over_obs, walk_shards, STARTS_PER_SHARD,
 };

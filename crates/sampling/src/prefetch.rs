@@ -60,9 +60,7 @@ where
                     Err(payload) => {
                         // Deliver the panic as a recoverable error, then
                         // exit — the producer's state is gone.
-                        let _ = tx.send(Err(SampleError::WorkerPanicked(panic_message(
-                            payload.as_ref(),
-                        ))));
+                        let _ = tx.send(Err(classify_panic(payload.as_ref())));
                         break;
                     }
                 }
@@ -75,6 +73,20 @@ where
         drop(puller);
         result
     })
+}
+
+/// Classifies a caught producer panic: a sharded-store failure (recognised
+/// by [`mhg_graph::STORE_FAILURE_PREFIX`]) becomes [`SampleError::Storage`]
+/// — the store's quarantine makes it deterministic, so an inline replay
+/// would fail identically — while anything else stays a generic
+/// [`SampleError::WorkerPanicked`] that the pipeline retries inline.
+pub fn classify_panic(payload: &(dyn std::any::Any + Send)) -> SampleError {
+    let msg = panic_message(payload);
+    if msg.starts_with(mhg_graph::STORE_FAILURE_PREFIX) {
+        SampleError::Storage(msg)
+    } else {
+        SampleError::WorkerPanicked(msg)
+    }
 }
 
 /// Extracts a human-readable message from a caught panic payload.
@@ -136,6 +148,52 @@ mod tests {
             s
         });
         assert_eq!(sum, 63);
+    }
+
+    #[test]
+    fn storage_panics_classify_as_storage_errors() {
+        let msg = format!("{}: checksum mismatch", mhg_graph::STORE_FAILURE_PREFIX);
+        match classify_panic(&msg.clone() as &(dyn std::any::Any + Send)) {
+            SampleError::Storage(m) => assert_eq!(m, msg),
+            other => panic!("expected Storage, got {other:?}"),
+        }
+        match classify_panic(&"index out of bounds" as &(dyn std::any::Any + Send)) {
+            SampleError::WorkerPanicked(m) => assert_eq!(m, "index out of bounds"),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn storage_panic_on_the_worker_is_delivered_typed() {
+        let produce = |i: usize| {
+            if i == 1 {
+                panic!(
+                    "{}: shard r0-s0 quarantined",
+                    mhg_graph::STORE_FAILURE_PREFIX
+                );
+            }
+            i
+        };
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let got = run_prefetched(3, &produce, |next| {
+            let mut last = None;
+            while let Some(r) = next() {
+                match r {
+                    Ok(_) => {}
+                    Err(e) => {
+                        last = Some(e);
+                        break;
+                    }
+                }
+            }
+            last
+        });
+        std::panic::set_hook(prev_hook);
+        match got {
+            Some(SampleError::Storage(m)) => assert!(m.contains("quarantined")),
+            other => panic!("expected Storage, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,6 +19,17 @@ pub enum TrainError {
     Sample(SampleError),
     /// Reading or writing a checkpoint failed.
     Checkpoint(CkptError),
+    /// The sharded graph store exhausted its self-healing ladder mid-run:
+    /// a shard failed its bounded retries *and* could not be rebuilt from
+    /// source, so it is quarantined and every future access fails
+    /// identically. Unlike a worker panic there is no inline fallback —
+    /// replaying the epoch re-reads the same quarantined shard.
+    StorageExhausted {
+        /// Epoch whose sampling hit the dead shard.
+        epoch: usize,
+        /// The underlying store failure message.
+        detail: String,
+    },
     /// The epoch loss stayed non-finite through every rollback attempt —
     /// the run genuinely diverged rather than hitting a transient fault.
     Diverged {
@@ -34,6 +45,10 @@ impl fmt::Display for TrainError {
         match self {
             TrainError::Sample(e) => write!(f, "sampling failed: {e}"),
             TrainError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+            TrainError::StorageExhausted { epoch, detail } => write!(
+                f,
+                "graph storage exhausted self-healing at epoch {epoch}: {detail}"
+            ),
             TrainError::Diverged { epoch, rollbacks } => write!(
                 f,
                 "training diverged: non-finite loss at epoch {epoch} after {rollbacks} rollbacks"
@@ -47,6 +62,7 @@ impl Error for TrainError {
         match self {
             TrainError::Sample(e) => Some(e),
             TrainError::Checkpoint(e) => Some(e),
+            TrainError::StorageExhausted { .. } => None,
             TrainError::Diverged { .. } => None,
         }
     }

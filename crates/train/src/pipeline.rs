@@ -291,6 +291,26 @@ where
         match exit {
             SpanExit::Finished => break,
             SpanExit::SamplerFailed(e) => {
+                if let SampleError::Storage(detail) = e {
+                    // A dead (quarantined) shard fails identically on every
+                    // replay — falling back to inline sampling would only
+                    // re-read the same quarantined shard. Surface it typed.
+                    opts.obs.event(
+                        "storage_exhausted",
+                        &[
+                            ("epoch", EventValue::U64(st.epoch as u64)),
+                            ("error", EventValue::Str(detail.clone())),
+                        ],
+                    );
+                    opts.obs.note(&format!(
+                        "[mhg-train] graph storage exhausted self-healing at epoch {}: {detail}",
+                        st.epoch
+                    ));
+                    return Err(TrainError::StorageExhausted {
+                        epoch: st.epoch,
+                        detail,
+                    });
+                }
                 if background {
                     opts.obs.event(
                         "sampler_fallback",
@@ -444,7 +464,20 @@ where
                 if offset >= budget {
                     return None;
                 }
-                let buffer = produce(offset);
+                // A sharded-store failure escapes the infallible GraphStore
+                // API as a panic; contain it here exactly like the prefetch
+                // worker does, so the inline path also surfaces a typed
+                // `SampleError::Storage` instead of aborting the process.
+                // Any other panic is a real bug and keeps unwinding.
+                let buffer = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    produce(offset)
+                })) {
+                    Ok(b) => b,
+                    Err(payload) => match mhg_sampling::classify_panic(payload.as_ref()) {
+                        e @ SampleError::Storage(_) => Err(e),
+                        _ => std::panic::resume_unwind(payload),
+                    },
+                };
                 offset += 1;
                 Some(buffer)
             },
@@ -945,6 +978,41 @@ mod tests {
         assert_eq!(clean_report.epochs_run, faulted_report.epochs_run);
         assert_eq!(clean_report.final_loss, faulted_report.final_loss);
         assert_eq!(clean_report.best_val_auc, faulted_report.best_val_auc);
+    }
+
+    /// A sharded-store failure during sampling is terminal — no inline
+    /// fallback, no process abort — and typed, on both sampling paths.
+    #[test]
+    fn storage_failure_is_terminal_and_typed_on_both_paths() {
+        let _g = faults_guard();
+        mhg_faults::clear();
+        for background in [false, true] {
+            let sample = |epoch: usize, rng: &mut StdRng| {
+                if epoch == 2 {
+                    // What `ShardedCsr::with_neighbors` panics with once a
+                    // shard is quarantined and repair failed.
+                    panic!(
+                        "{}: shard r0-s1 quarantined: retries exhausted and repair failed",
+                        mhg_graph::STORE_FAILURE_PREFIX
+                    );
+                }
+                recipe(epoch, rng)
+            };
+            let mut step = CountingStep::new(10);
+            let mut rng = StdRng::seed_from_u64(7);
+            let prev_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let err = train(&opts(background, 5), sample, &mut step, &mut rng)
+                .expect_err("dead shard must surface");
+            std::panic::set_hook(prev_hook);
+            match err {
+                TrainError::StorageExhausted { epoch, detail } => {
+                    assert_eq!(epoch, 2, "background={background}");
+                    assert!(detail.contains("quarantined"), "got {detail}");
+                }
+                other => panic!("expected StorageExhausted, got {other} (background={background})"),
+            }
+        }
     }
 
     /// Checkpoint writes retry through injected IO faults without changing

@@ -19,11 +19,15 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, BytesMut};
-use hybridgnn_repro::datasets::{DatasetKind, EdgeSplit};
+use hybridgnn_repro::datasets::{DatasetKind, EdgeSplit, SyntheticTier};
 use hybridgnn_repro::eval;
-use hybridgnn_repro::graph::{persist, GraphStats, MultiplexGraph, NodeId, NodeTypeId, RelationId};
+use hybridgnn_repro::graph::{
+    persist, GraphStats, MultiplexGraph, NodeId, NodeTypeId, RelationId, ShardedCsr,
+    ShardedCsrOptions,
+};
 use hybridgnn_repro::model::{HybridConfig, HybridGnn};
 use hybridgnn_repro::models::{FitData, LinkPredictor};
 use rand::rngs::StdRng;
@@ -43,6 +47,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "train" => cmd_train(&flags),
         "recommend" => cmd_recommend(&flags),
+        "graph-fsck" => cmd_graph_fsck(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -58,15 +63,17 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: hybridgnn-cli <generate|stats|train|recommend> [flags]
-  generate  --dataset <name> --out <file.mhg> [--scale f] [--seed n]
-  stats     --graph <file.mhg>
-  train     --graph <file.mhg> --out <file.emb> [--epochs n] [--dim n]
-            [--seed n] [--shapes type-type-type,...]
-            [--checkpoint-dir dir] [--checkpoint-every n] [--resume true]
-            [--metrics-out <file.jsonl>]
-  recommend --graph <file.mhg> --model <file.emb> --node <id>
-            --relation <name> [--k n]";
+const USAGE: &str = "usage: hybridgnn-cli <generate|stats|train|recommend|graph-fsck> [flags]
+  generate   --dataset <name> --out <file.mhg> [--scale f] [--seed n]
+  stats      --graph <file.mhg>
+  train      --graph <file.mhg> --out <file.emb> [--epochs n] [--dim n]
+             [--seed n] [--shapes type-type-type,...]
+             [--checkpoint-dir dir] [--checkpoint-every n] [--resume true]
+             [--metrics-out <file.jsonl>]
+  recommend  --graph <file.mhg> --model <file.emb> --node <id>
+             --relation <name> [--k n]
+  graph-fsck --dir <store-dir> [--repair true]
+             [--source-graph <file.mhg> | --source-tier taobao [--scale f] [--seed n]]";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -264,6 +271,67 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `graph-fsck`: verify every shard of a sharded store against its
+/// checksums and manifest, optionally rebuilding corrupt shards in place
+/// from a re-streamable edge source. Exits nonzero while any shard remains
+/// corrupt, so the command doubles as a CI health check.
+fn cmd_graph_fsck(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir: PathBuf = required(flags, "dir")?.into();
+    let repair: bool = parsed(flags, "repair", false)?;
+    let mut store = ShardedCsr::open(&dir, ShardedCsrOptions::default())
+        .map_err(|e| format!("opening {}: {e}", dir.display()))?;
+    if let Some(path) = flags.get("source-graph") {
+        let source = persist::load(PathBuf::from(path))
+            .map_err(|e| format!("loading source graph {path}: {e}"))?;
+        store = store.with_heal_source(Arc::new(source));
+    } else if let Some(tier) = flags.get("source-tier") {
+        if tier != "taobao" {
+            return Err(format!("unknown --source-tier {tier:?} (only taobao)"));
+        }
+        let scale: f64 = parsed(flags, "scale", 1.0)?;
+        let seed: u64 = parsed(flags, "seed", 2022)?;
+        store = store.with_heal_source(Arc::new(SyntheticTier::taobao(scale, seed)));
+    }
+
+    let report = store.verify_all();
+    println!(
+        "graph-fsck: checked {} shard(s), {} corrupt",
+        report.checked,
+        report.corrupt.len()
+    );
+    for f in &report.corrupt {
+        println!("  r{}-s{}: {}", f.relation, f.shard, f.error);
+    }
+    if report.is_clean() {
+        println!("store is clean");
+        return Ok(());
+    }
+    if !repair {
+        return Err(format!(
+            "{} corrupt shard(s); re-run with --repair true and a \
+             --source-graph/--source-tier to rebuild them",
+            report.corrupt.len()
+        ));
+    }
+    let outcome = store.repair();
+    for (r, s) in &outcome.repaired {
+        println!("  repaired r{r}-s{s} (checksum re-verified from disk)");
+    }
+    for f in &outcome.failed {
+        println!("  UNREPAIRED r{}-s{}: {}", f.relation, f.shard, f.error);
+    }
+    if outcome.is_complete() {
+        println!("all corrupt shards repaired");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} shard(s) could not be repaired (quarantine state: {:?})",
+            outcome.failed.len(),
+            store.quarantined()
+        ))
+    }
 }
 
 fn load_graph(flags: &HashMap<String, String>) -> Result<MultiplexGraph, String> {
